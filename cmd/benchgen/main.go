@@ -1,0 +1,60 @@
+// Command benchgen emits the synthetic benchmark suite as ISCAS89 .bench
+// files so the netlists can be inspected, archived, or fed back through the
+// parser path of the tools.
+//
+// Usage:
+//
+//	benchgen [-out dir] [-scale 1.0] [-circuit s9234]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"rotaryclk/internal/bench"
+	"rotaryclk/internal/netlist"
+)
+
+func main() {
+	var (
+		out     = flag.String("out", ".", "output directory")
+		scale   = flag.Float64("scale", 1.0, "shrink factor")
+		circuit = flag.String("circuit", "", "single circuit (default: whole suite)")
+	)
+	flag.Parse()
+
+	suite := bench.Suite
+	if *circuit != "" {
+		b, err := bench.ByName(*circuit)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgen:", err)
+			os.Exit(1)
+		}
+		suite = []bench.Circuit{b}
+	}
+	for _, b := range suite {
+		b = b.Scale(*scale)
+		c, err := b.Generate()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgen:", err)
+			os.Exit(1)
+		}
+		path := filepath.Join(*out, b.Name+".bench")
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgen:", err)
+			os.Exit(1)
+		}
+		if err := netlist.WriteBench(f, c); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "benchgen:", err)
+			os.Exit(1)
+		}
+		f.Close()
+		st := c.Stats()
+		fmt.Printf("%s: %d cells, %d flip-flops, %d nets -> %s\n",
+			b.Name, st.Cells, st.FlipFlops, st.Nets, path)
+	}
+}

@@ -1,0 +1,153 @@
+// Command rotaryflow runs the integrated placement and skew optimization
+// flow on one benchmark circuit (or a .bench netlist) and prints the paper's
+// metrics before and after the pseudo-net iterations.
+//
+// Usage:
+//
+//	rotaryflow -circuit s9234 [-scale 0.25] [-assigner flow|ilp] [-objective delta|sum]
+//	rotaryflow -bench path/to/circuit.bench -rings 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rotaryclk/internal/bench"
+	"rotaryclk/internal/core"
+	"rotaryclk/internal/geom"
+	"rotaryclk/internal/netlist"
+	"rotaryclk/internal/report"
+	"rotaryclk/internal/viz"
+)
+
+// writeSVG renders the flow result.
+func writeSVG(path string, c *netlist.Circuit, res *core.Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	s := viz.NewScene(c.Die, viz.Options{ShowCells: true})
+	s.AddCircuit(c)
+	s.AddArray(res.Array)
+	ffPos := make([]geom.Point, len(res.FFCells))
+	for i, id := range res.FFCells {
+		ffPos[i] = c.Cells[id].Pos
+	}
+	s.AddTaps(res.Assign, ffPos)
+	_, err = s.WriteTo(f)
+	return err
+}
+
+func main() {
+	var (
+		circuit   = flag.String("circuit", "s9234", "suite circuit name (Table II)")
+		benchFile = flag.String("bench", "", "ISCAS89 .bench file (overrides -circuit)")
+		scale     = flag.Float64("scale", 1.0, "shrink factor for the suite circuit")
+		rings     = flag.Int("rings", 0, "rotary rings (default: the suite's Table II value)")
+		assigner  = flag.String("assigner", "flow", "stage-3 formulation: flow | ilp")
+		objective = flag.String("objective", "delta", "stage-4 objective: delta | sum")
+		iters     = flag.Int("iters", 5, "max stage 3-6 iterations")
+		svgOut    = flag.String("svg", "", "write the final placement + rings + taps as SVG to this file")
+	)
+	flag.Parse()
+
+	c, cfg, err := load(*circuit, *benchFile, *scale, *rings)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rotaryflow:", err)
+		os.Exit(1)
+	}
+	cfg.MaxIters = *iters
+	switch *assigner {
+	case "flow":
+	case "ilp":
+		cfg.Assigner = core.ILP
+	default:
+		fmt.Fprintf(os.Stderr, "rotaryflow: unknown assigner %q\n", *assigner)
+		os.Exit(2)
+	}
+	switch *objective {
+	case "delta":
+	case "sum":
+		cfg.Objective = core.WeightedSum
+	default:
+		fmt.Fprintf(os.Stderr, "rotaryflow: unknown objective %q\n", *objective)
+		os.Exit(2)
+	}
+
+	st := c.Stats()
+	fmt.Printf("%s: %d cells, %d flip-flops, %d nets, %d rings, assigner=%s\n\n",
+		c.Name, st.Cells, st.FlipFlops, st.Nets, cfg.NumRings, cfg.Assigner)
+
+	res, err := core.Run(c, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rotaryflow:", err)
+		os.Exit(1)
+	}
+	if err := core.Audit(c, cfg, res); err != nil {
+		fmt.Fprintln(os.Stderr, "rotaryflow: AUDIT FAILED:", err)
+		os.Exit(1)
+	}
+
+	t := report.New("flow metrics (micrometers, femtofarads, milliwatts)",
+		"stage", "AFD", "tapWL", "signalWL", "totalWL", "maxCap", "clockP", "signalP", "totalP")
+	rowOf := func(stage string, m core.Metrics) {
+		t.Row(stage, m.AFD, m.TapWL, m.SignalWL, m.TotalWL, m.MaxCap, m.ClockPower, m.SignalPower, m.TotalPower)
+	}
+	rowOf("base (stage 3)", res.Base)
+	for i := 1; i < len(res.PerIter); i++ {
+		rowOf(fmt.Sprintf("iteration %d", i), res.PerIter[i])
+	}
+	rowOf("final", res.Final)
+	fmt.Println(t)
+
+	if *svgOut != "" {
+		if err := writeSVG(*svgOut, c, res); err != nil {
+			fmt.Fprintln(os.Stderr, "rotaryflow:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *svgOut)
+	}
+
+	fmt.Printf("max slack M* = %.1f ps\n", res.MaxSlack)
+	fmt.Printf("tapping WL improvement: %s\n", report.Percent((res.Base.TapWL-res.Final.TapWL)/res.Base.TapWL))
+	fmt.Printf("total WL improvement:   %s\n", report.Percent((res.Base.TotalWL-res.Final.TotalWL)/res.Base.TotalWL))
+	fmt.Printf("CPU: placement %.2fs, optimization %.2fs\n", res.PlaceSeconds, res.OptSeconds)
+}
+
+func load(name, benchFile string, scale float64, rings int) (*netlist.Circuit, core.Config, error) {
+	if benchFile != "" {
+		f, err := os.Open(benchFile)
+		if err != nil {
+			return nil, core.Config{}, err
+		}
+		defer f.Close()
+		c, err := netlist.ParseBench(benchFile, f)
+		if err != nil {
+			return nil, core.Config{}, err
+		}
+		if err := netlist.SizePhysical(c, 0); err != nil {
+			return nil, core.Config{}, err
+		}
+		cfg := core.Config{NumRings: rings}
+		if rings <= 0 {
+			cfg.NumRings = 16
+		}
+		return c, cfg, nil
+	}
+	b, err := bench.ByName(name)
+	if err != nil {
+		return nil, core.Config{}, err
+	}
+	b = b.Scale(scale)
+	c, err := b.Generate()
+	if err != nil {
+		return nil, core.Config{}, err
+	}
+	cfg := b.Config()
+	if rings > 0 {
+		cfg.NumRings = rings
+	}
+	return c, cfg, nil
+}

@@ -1,0 +1,198 @@
+// Command rotarytables regenerates every table of the paper's evaluation
+// (Section VIII, Tables I-VII) plus the Fig. 2 tapping-curve data.
+//
+// Usage:
+//
+//	rotarytables [-scale 0.2] [-ilp-budget 10s] [-circuits s9234,s5378] [-tables I,III,IV]
+//
+// Scale 1 runs the paper-size circuits (several minutes); the default scale
+// runs the whole matrix in about a minute.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"rotaryclk/internal/exp"
+	"rotaryclk/internal/report"
+)
+
+func main() {
+	var (
+		scale  = flag.Float64("scale", 0.2, "benchmark shrink factor (1 = paper size)")
+		budget = flag.Duration("ilp-budget", 10*time.Second, "wall-clock budget for the generic ILP baseline (Table I)")
+		subset = flag.String("circuits", "", "comma-separated circuit subset (default: all five)")
+		tables = flag.String("tables", "I,II,III,IV,V,VI,VII,Fig2,Var,Trees,Rings", "comma-separated tables to regenerate (Var/Trees/Rings are the extension studies)")
+	)
+	flag.Parse()
+
+	opt := exp.Options{Scale: *scale, ILPBudget: *budget}
+	if *subset != "" {
+		opt.Circuits = strings.Split(*subset, ",")
+	}
+	want := map[string]bool{}
+	for _, t := range strings.Split(*tables, ",") {
+		want[strings.TrimSpace(strings.ToUpper(t))] = true
+	}
+
+	needRuns := want["II"] || want["III"] || want["IV"] || want["V"] || want["VI"] || want["VII"] ||
+		want["VAR"] || want["TREES"]
+	var runs []*exp.CircuitRun
+	if needRuns {
+		var err error
+		fmt.Fprintf(os.Stderr, "running both flows on the suite (scale %.2f)...\n", *scale)
+		runs, err = exp.RunAll(opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rotarytables:", err)
+			os.Exit(1)
+		}
+	}
+
+	if want["I"] {
+		rows, err := exp.TableI(opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rotarytables:", err)
+			os.Exit(1)
+		}
+		t := report.New("Table I: integrality gap, greedy rounding vs generic ILP solver",
+			"circuit", "greedy IG", "greedy CPU(s)", "ILP IG", "ILP CPU(s)", "ILP status")
+		for _, r := range rows {
+			ig := "-"
+			if !r.ILPNoSol {
+				ig = report.FormatFloat(r.ILPIG)
+			}
+			t.Row(r.Name, r.GreedyIG, fmt.Sprintf("%.2f", r.GreedyCPU), ig,
+				fmt.Sprintf("%.2f", r.ILPCPU), r.ILPStatus)
+		}
+		fmt.Println(t)
+	}
+	if want["II"] {
+		t := report.New("Table II: test cases (PL = avg source-sink path in conventional clock trees)",
+			"circuit", "#cells", "#FFs", "#nets", "PL(um)", "paper PL", "#rings")
+		for _, r := range exp.TableII(runs) {
+			t.Row(r.Name, r.Cells, r.FFs, r.Nets, r.PL, r.PaperPL, r.Rings)
+		}
+		fmt.Println(t)
+	}
+	if want["III"] {
+		t := report.New("Table III: base case (wirelength um, power mW)",
+			"circuit", "AFD", "tap WL", "signal WL", "total WL", "clock P", "signal P", "total P", "CPU(s)")
+		for _, r := range exp.TableIII(runs) {
+			t.Row(r.Name, r.AFD, r.TapWL, r.SignalWL, r.TotalWL, r.ClockPower, r.SignalPower, r.TotalPower,
+				fmt.Sprintf("%.1f", r.CPU))
+		}
+		fmt.Println(t)
+	}
+	if want["IV"] {
+		t := report.New("Table IV: network-flow optimization (improvements vs base case)",
+			"circuit", "AFD", "tap WL", "imp", "signal WL", "imp", "total WL", "imp", "opt CPU(s)", "place CPU(s)")
+		for _, r := range exp.TableIV(runs) {
+			t.Row(r.Name, r.AFD, r.TapWL, report.Percent(r.TapImp),
+				r.SignalWL, report.Percent(r.SignalImp),
+				r.TotalWL, report.Percent(r.TotalImp),
+				fmt.Sprintf("%.1f", r.OptCPU), fmt.Sprintf("%.1f", r.PlaceCPU))
+		}
+		fmt.Println(t)
+	}
+	if want["V"] {
+		t := report.New("Table V: max load capacitance (fF), network flow vs ILP formulation",
+			"circuit", "flow cap", "flow AFD", "ILP AFD", "AFD imp", "ILP cap", "cap imp", "ILP total WL", "WL imp")
+		for _, r := range exp.TableV(runs) {
+			t.Row(r.Name, r.FlowCap, r.FlowAFD, r.ILPAFD, report.Percent(r.AFDImp),
+				r.ILPCap, report.Percent(r.CapImp), r.ILPWL, report.Percent(r.WLImp))
+		}
+		fmt.Println(t)
+	}
+	if want["VI"] {
+		t := report.New("Table VI: power (mW), both formulations vs base case",
+			"circuit", "flow clk", "imp", "flow sig", "imp", "flow tot", "imp",
+			"ILP clk", "imp", "ILP sig", "imp", "ILP tot", "imp")
+		for _, r := range exp.TableVI(runs) {
+			t.Row(r.Name,
+				r.FlowClock, report.Percent(r.FlowClockImp),
+				r.FlowSignal, report.Percent(r.FlowSignalImp),
+				r.FlowTotal, report.Percent(r.FlowTotalImp),
+				r.ILPClock, report.Percent(r.ILPClockImp),
+				r.ILPSignal, report.Percent(r.ILPSignalImp),
+				r.ILPTotal, report.Percent(r.ILPTotalImp))
+		}
+		fmt.Println(t)
+	}
+	if want["VII"] {
+		t := report.New("Table VII: wirelength-capacitance product (um*pF)",
+			"circuit", "network flow WCP", "ILP WCP", "imp")
+		for _, r := range exp.TableVII(runs) {
+			t.Row(r.Name, r.FlowWCP, r.ILPWCP, report.Percent(r.Imp))
+		}
+		fmt.Println(t)
+	}
+	if want["VAR"] {
+		rows, err := exp.VariationStudy(runs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rotarytables:", err)
+			os.Exit(1)
+		}
+		t := report.New("Variability study (Section I motivation): skew deviation sigma (ps)",
+			"circuit", "rotary sigma", "tree sigma", "tree/rotary", "rotary max", "tree max")
+		for _, r := range rows {
+			t.Row(r.Name, r.RotSigma, r.TreeSigma, r.Ratio, r.RotMax, r.TreeMax)
+		}
+		fmt.Println(t)
+	}
+	if want["TREES"] {
+		rows, err := exp.LocalTreeStudy(runs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rotarytables:", err)
+			os.Exit(1)
+		}
+		t := report.New("Local-tree study (Section IX future work): shared trunks vs individual stubs",
+			"circuit", "stub WL (um)", "tree WL (um)", "saved", "clusters")
+		for _, r := range rows {
+			t.Row(r.Name, r.BaseWL, r.TreeWL, report.Percent(r.SavedPct), r.Clusters)
+		}
+		fmt.Println(t)
+	}
+	if want["RINGS"] {
+		name := "s9234"
+		if len(opt.Circuits) > 0 {
+			name = opt.Circuits[0]
+		}
+		rows, err := exp.RingSweep(name, opt.Scale, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rotarytables:", err)
+			os.Exit(1)
+		}
+		t := report.New(fmt.Sprintf("Ring-count sweep on %s (Section IX future work)", name),
+			"#rings", "tap WL", "signal WL", "max cap", "WCP", "best")
+		for _, r := range rows {
+			mark := ""
+			if r.Best {
+				mark = "<== best"
+			}
+			t.Row(r.Rings, r.TapWL, r.SignalWL, r.MaxCap, r.WCP, mark)
+		}
+		fmt.Println(t)
+	}
+	if want["FIG2"] {
+		f, err := exp.Fig2Data()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rotarytables:", err)
+			os.Exit(1)
+		}
+		t := report.New("Fig. 2: tapping-delay curve t_f(x) (20-point summary of 201 samples)",
+			"x (um)", "t_f(x) (ps)", "stub (um)")
+		for i := 0; i < len(f.Curve); i += len(f.Curve) / 20 {
+			cp := f.Curve[i]
+			t.Row(cp.X, cp.Delay, cp.Stub)
+		}
+		fmt.Println(t)
+		t2 := report.New("Fig. 2: the four target cases", "case", "target (ps)", "stub (um)", "periods", "snaked")
+		for _, cs := range f.Cases {
+			t2.Row(cs.Label, cs.Target, cs.Tap.WireLen, cs.Tap.Periods, cs.Tap.Snaked)
+		}
+		fmt.Println(t2)
+	}
+}

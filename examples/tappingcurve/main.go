@@ -1,0 +1,86 @@
+// Tappingcurve reproduces the paper's Fig. 2: the two-parabola tapping-delay
+// curve t_f(x) of a flip-flop against one segment of a rotary ring, and the
+// four solution cases of the flexible-tapping relaxation (Section III). The
+// curve is rendered as ASCII art plus a CSV-ready sample dump.
+//
+// Run with: go run ./examples/tappingcurve
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"strings"
+
+	"rotaryclk"
+)
+
+func main() {
+	// The paper's Fig. 2 is a schematic: at realistic 100 nm RC the stub
+	// parabola is dwarfed by the on-ring phase ramp rho*x. Exaggerating the
+	// wire resistance 400x makes the two-parabola shape visible while
+	// exercising exactly the same solver code paths.
+	params := rotaryclk.DefaultParams()
+	params.RWire *= 400
+	ring := &rotaryclk.Ring{Center: rotaryclk.Pt(1000, 1000), Side: 1200, Dir: 1}
+	ff := rotaryclk.Pt(800, 250) // below the bottom segment, off-center
+
+	// Sample t_f(x) by solving the tap for targets across the band and by
+	// direct evaluation: delay at tap x = on-ring delay + Elmore stub delay.
+	const n = 60
+	segLen := ring.Side
+	rho := params.Period / ring.Perimeter()
+	type sample struct{ x, delay, stub float64 }
+	var samples []sample
+	for i := 0; i <= n; i++ {
+		x := segLen * float64(i) / n
+		pt := rotaryclk.Pt(ring.Center.X-ring.Side/2+x, ring.Center.Y-ring.Side/2)
+		stub := pt.Manhattan(ff)
+		delay := rho*x + params.StubDelay(stub)
+		samples = append(samples, sample{x, delay, stub})
+	}
+
+	// ASCII plot.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range samples {
+		lo, hi = math.Min(lo, s.delay), math.Max(hi, s.delay)
+	}
+	const rows = 18
+	fmt.Printf("t_f(x) for a flip-flop at %v (bottom segment, ps vs um):\n\n", ff)
+	grid := make([][]byte, rows)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", n+1))
+	}
+	for i, s := range samples {
+		r := int((hi - s.delay) / (hi - lo) * float64(rows-1))
+		grid[r][i] = '*'
+	}
+	for r, line := range grid {
+		v := hi - (hi-lo)*float64(r)/float64(rows-1)
+		fmt.Printf("%8.1f |%s\n", v, string(line))
+	}
+	fmt.Printf("%8s +%s\n%10s0%*s%.0f\n\n", "", strings.Repeat("-", n+1), "", n-3, "", segLen)
+
+	// The four cases of Section III against the whole ring.
+	minD, maxD := samples[0].delay, samples[0].delay
+	for _, s := range samples {
+		minD, maxD = math.Min(minD, s.delay), math.Max(maxD, s.delay)
+	}
+	cases := []struct {
+		name   string
+		target float64
+	}{
+		{"case 1: target below the band (shift by whole periods)", minD - 300},
+		{"case 2: moderately small target (two roots, shorter stub wins)", minD + 0.1*(maxD-minD)},
+		{"case 3: mid-band target (unique root)", minD + 0.6*(maxD-minD)},
+		{"case 4: target above the band (tap the end, snake the wire)", maxD + 1},
+	}
+	for _, cs := range cases {
+		tap, err := rotaryclk.SolveTap(ring, params, ff, cs.target)
+		if err != nil {
+			log.Fatalf("%s: %v", cs.name, err)
+		}
+		fmt.Printf("%s\n  target %7.1f ps -> tap %v, stub %6.1f um, k=%d, snaked=%v, complement=%v\n",
+			cs.name, cs.target, tap.Point, tap.WireLen, tap.Periods, tap.Snaked, tap.Complement)
+	}
+}

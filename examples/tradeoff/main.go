@@ -1,0 +1,62 @@
+// Tradeoff sweeps the two stage-3 assignment formulations against each
+// other on one circuit — the wirelength-versus-max-capacitance trade-off the
+// paper resolves with the WCP metric (Tables V and VII) — and sweeps the
+// pseudo-net weight to show the tapping-vs-signal wirelength knob.
+//
+// Run with: go run ./examples/tradeoff
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rotaryclk"
+)
+
+func main() {
+	gen := func() *rotaryclk.Circuit {
+		c, err := rotaryclk.Generate(rotaryclk.GenSpec{
+			Name: "tradeoff", Cells: 600, FlipFlops: 80, Seed: 7,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return c
+	}
+
+	fmt.Println("assignment formulation trade-off (same circuit, same flow):")
+	fmt.Printf("%-14s %10s %10s %12s %12s\n", "assigner", "AFD(um)", "maxCap(fF)", "totalWL(um)", "WCP(um*pF)")
+	for _, a := range []struct {
+		name string
+		as   rotaryclk.Assigner
+	}{
+		{"network-flow", rotaryclk.NetworkFlow},
+		{"ilp (minmax)", rotaryclk.ILP},
+	} {
+		res, err := rotaryclk.Run(gen(), rotaryclk.Config{
+			NumRings: 9, MaxIters: 4, Assigner: a.as,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		f := res.Final
+		fmt.Printf("%-14s %10.1f %10.2f %12.0f %12.1f\n", a.name, f.AFD, f.MaxCap, f.TotalWL, f.WCP)
+	}
+	fmt.Println("\nthe network flow wins total wirelength; the ILP wins max load")
+	fmt.Println("capacitance (and usually WCP), matching the paper's Tables V/VII.")
+
+	fmt.Println("\npseudo-net weight sweep (network flow):")
+	fmt.Printf("%10s %12s %12s %12s\n", "weight", "tapWL(um)", "signalWL(um)", "totalWL(um)")
+	for _, w := range []float64{0.5, 2, 4, 8, 16} {
+		res, err := rotaryclk.Run(gen(), rotaryclk.Config{
+			NumRings: 9, MaxIters: 4, PseudoWeight: w,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		f := res.Final
+		fmt.Printf("%10.1f %12.0f %12.0f %12.0f\n", w, f.TapWL, f.SignalWL, f.TotalWL)
+	}
+	fmt.Println("\nstronger pseudo-nets pull flip-flops harder onto their rings:")
+	fmt.Println("tapping wirelength falls while signal wirelength pays the price.")
+}

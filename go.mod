@@ -1,0 +1,3 @@
+module rotaryclk
+
+go 1.22

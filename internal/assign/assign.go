@@ -1,0 +1,392 @@
+// Package assign implements stage 3 of the paper's flow: associating every
+// flip-flop with one rotary clock ring.
+//
+// Two formulations are provided, exactly as in the paper:
+//
+//   - MinCost (Section V): minimize total tapping wirelength subject to ring
+//     capacities, solved optimally as a min-cost network flow (Fig. 4).
+//   - MinMaxCap (Section VI): minimize the maximum capacitance loaded on any
+//     ring (which bounds the array's oscillation frequency, eq. (2)), an ILP
+//     solved by LP-relaxation plus the greedy rounding of Fig. 5. A generic
+//     branch-and-bound solve of the same ILP reproduces the paper's Table I
+//     baseline (a budgeted public-domain ILP solver).
+package assign
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"rotaryclk/internal/geom"
+	"rotaryclk/internal/lp"
+	"rotaryclk/internal/mcmf"
+	"rotaryclk/internal/rotary"
+)
+
+// FF is one flip-flop to assign: its cell ID, placed location, and the clock
+// delay target produced by skew optimization.
+type FF struct {
+	Cell   int
+	Pos    geom.Point
+	Target float64
+}
+
+// Problem is a flip-flop-to-ring assignment instance.
+type Problem struct {
+	Array *rotary.Array
+	FFs   []FF
+	// K is the number of candidate rings considered per flip-flop (arc
+	// pruning, as in the paper's flow network: far-away rings get no arc).
+	// Default 6.
+	K int
+	// Capacity is the per-ring flip-flop limit U_j for MinCost. Empty means
+	// a uniform default of ceil(1.25 * len(FFs) / numRings).
+	Capacity []int
+	// MaxStub, when positive, prunes candidate arcs whose tapping stub
+	// exceeds it (Section III's stub-length limit), always keeping each
+	// flip-flop's three cheapest arcs so the assignment stays feasible.
+	MaxStub float64
+}
+
+// Assignment is the result of any of the assigners.
+type Assignment struct {
+	Ring    []int        // per FF: assigned ring ID
+	Taps    []rotary.Tap // per FF: solved tapping point on that ring
+	Total   float64      // total tapping wirelength (um)
+	MaxCap  float64      // maximum ring load capacitance (fF)
+	Loads   []float64    // per ring load capacitance (fF)
+	AvgDist float64      // average flip-flop tapping distance (AFD, um)
+}
+
+func (p *Problem) normalize() error {
+	if p.Array == nil || len(p.Array.Rings) == 0 {
+		return fmt.Errorf("assign: no rotary rings")
+	}
+	if len(p.FFs) == 0 {
+		return fmt.Errorf("assign: no flip-flops")
+	}
+	if p.K <= 0 {
+		p.K = 6
+	}
+	if p.K > len(p.Array.Rings) {
+		p.K = len(p.Array.Rings)
+	}
+	if len(p.Capacity) == 0 {
+		u := (len(p.FFs)*5/4)/len(p.Array.Rings) + 1
+		p.Capacity = make([]int, len(p.Array.Rings))
+		for j := range p.Capacity {
+			p.Capacity[j] = u
+		}
+	} else if len(p.Capacity) != len(p.Array.Rings) {
+		return fmt.Errorf("assign: %d capacities for %d rings", len(p.Capacity), len(p.Array.Rings))
+	}
+	total := 0
+	for _, u := range p.Capacity {
+		if u < 0 {
+			return fmt.Errorf("assign: negative ring capacity")
+		}
+		total += u
+	}
+	if total < len(p.FFs) {
+		return fmt.Errorf("assign: total ring capacity %d below %d flip-flops", total, len(p.FFs))
+	}
+	return nil
+}
+
+// candidate holds one feasible (flip-flop, ring) arc.
+type candidate struct {
+	ring int
+	tap  rotary.Tap
+	cost float64 // tapping wirelength
+	cap  float64 // load capacitance C_p^{ij}
+}
+
+// candidates computes the pruned arc set: for each flip-flop, the K nearest
+// rings with their solved taps. Every flip-flop keeps at least one arc.
+func (p *Problem) candidates() ([][]candidate, error) {
+	out := make([][]candidate, len(p.FFs))
+	params := p.Array.Params
+	for i, ff := range p.FFs {
+		rings := p.Array.NearestRings(ff.Pos, p.K)
+		var all []candidate
+		for _, j := range rings {
+			tap, err := rotary.SolveTap(p.Array.Rings[j], params, ff.Pos, ff.Target)
+			if err != nil {
+				continue
+			}
+			all = append(all, candidate{
+				ring: j,
+				tap:  tap,
+				cost: tap.WireLen,
+				cap:  params.StubCap(tap.WireLen),
+			})
+		}
+		if len(all) == 0 {
+			return nil, fmt.Errorf("assign: flip-flop %d (cell %d) has no feasible ring", i, p.FFs[i].Cell)
+		}
+		sort.SliceStable(all, func(a, b int) bool { return all[a].cost < all[b].cost })
+		// Stubs beyond MaxStub defeat rotary clocking's variability
+		// advantage (Section III); prune them from the arc set, but keep the
+		// three cheapest arcs regardless so capacitated assignment stays
+		// feasible on dense clusters.
+		const minArcs = 3
+		for k, c := range all {
+			if k >= minArcs && p.MaxStub > 0 && c.cost > p.MaxStub {
+				break // sorted: everything after also exceeds the limit
+			}
+			out[i] = append(out[i], c)
+		}
+	}
+	return out, nil
+}
+
+// finish assembles an Assignment from per-FF choices.
+func (p *Problem) finish(choice []candidate) *Assignment {
+	a := &Assignment{
+		Ring:  make([]int, len(choice)),
+		Taps:  make([]rotary.Tap, len(choice)),
+		Loads: make([]float64, len(p.Array.Rings)),
+	}
+	for i, c := range choice {
+		a.Ring[i] = c.ring
+		a.Taps[i] = c.tap
+		a.Total += c.cost
+		a.Loads[c.ring] += c.cap
+	}
+	for _, l := range a.Loads {
+		if l > a.MaxCap {
+			a.MaxCap = l
+		}
+	}
+	a.AvgDist = a.Total / float64(len(choice))
+	return a
+}
+
+// MinCost solves the Section V formulation: minimize total tapping cost
+// subject to ring capacities, via min-cost max-flow. The flow network is
+// exactly Fig. 4: source -> flip-flops (cap 1) -> candidate rings (cap 1,
+// cost c_ij) -> target (cap U_j).
+func MinCost(p *Problem) (*Assignment, error) {
+	if err := p.normalize(); err != nil {
+		return nil, err
+	}
+	cands, err := p.candidates()
+	if err != nil {
+		return nil, err
+	}
+	nFF, nR := len(p.FFs), len(p.Array.Rings)
+	g := mcmf.NewGraph(2 + nFF + nR)
+	s, t := 0, 1
+	ffNode := func(i int) int { return 2 + i }
+	ringNode := func(j int) int { return 2 + nFF + j }
+	for i := range p.FFs {
+		g.AddArc(s, ffNode(i), 1, 0)
+	}
+	arcIDs := make([][]mcmf.ArcID, nFF)
+	for i, cs := range cands {
+		arcIDs[i] = make([]mcmf.ArcID, len(cs))
+		for k, c := range cs {
+			arcIDs[i][k] = g.AddArc(ffNode(i), ringNode(c.ring), 1, c.cost)
+		}
+	}
+	for j := 0; j < nR; j++ {
+		g.AddArc(ringNode(j), t, p.Capacity[j], 0)
+	}
+	flow, _ := g.MinCostMaxFlow(s, t)
+	if flow < nFF {
+		return nil, fmt.Errorf("assign: only %d of %d flip-flops assignable under capacities (increase K or capacity)", flow, nFF)
+	}
+	choice := make([]candidate, nFF)
+	for i, cs := range cands {
+		found := false
+		for k := range cs {
+			if g.Flow(arcIDs[i][k]) > 0 {
+				choice[i] = cs[k]
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("assign: internal: flip-flop %d carries no flow", i)
+		}
+	}
+	return p.finish(choice), nil
+}
+
+// Relax is the LP-relaxation result backing Table I.
+type Relax struct {
+	LPOpt    float64 // OPT(LP): optimal fractional max load capacitance
+	Solution float64 // SOLN(ILP) of the rounded solution
+	IG       float64 // integrality gap SOLN/OPT
+	LPIters  int
+}
+
+// MinMaxCap solves the Section VI formulation by LP-relaxation + greedy
+// rounding (Fig. 5): minimize the maximum load capacitance over rings, no
+// capacity constraints, each flip-flop on exactly one ring.
+func MinMaxCap(p *Problem) (*Assignment, *Relax, error) {
+	if err := p.normalize(); err != nil {
+		return nil, nil, err
+	}
+	cands, err := p.candidates()
+	if err != nil {
+		return nil, nil, err
+	}
+	prob, vars, z := buildMinMaxLP(p, cands, false)
+	sol, err := prob.SolveOpts(lp.Options{})
+	if err != nil {
+		return nil, nil, err
+	}
+	if sol.Status != lp.Optimal {
+		return nil, nil, fmt.Errorf("assign: LP relaxation %v", sol.Status)
+	}
+	choice := greedyRound(cands, vars, sol.X)
+	a := p.finish(choice)
+	rel := &Relax{LPOpt: sol.X[z], Solution: a.MaxCap, LPIters: sol.Iters}
+	if rel.LPOpt > 0 {
+		rel.IG = rel.Solution / rel.LPOpt
+	}
+	return a, rel, nil
+}
+
+// greedyRound is the paper's Fig. 5: keep integral assignments, otherwise
+// pick the ring with the largest fractional value (first such ring on ties,
+// matching the deterministic scan of the pseudo-code).
+func greedyRound(cands [][]candidate, vars [][]int, x []float64) []candidate {
+	choice := make([]candidate, len(cands))
+	for i, cs := range cands {
+		best, bestV := 0, -1.0
+		for k := range cs {
+			v := x[vars[i][k]]
+			if v > bestV+1e-12 {
+				best, bestV = k, v
+			}
+		}
+		choice[i] = cs[best]
+	}
+	return choice
+}
+
+// buildMinMaxLP constructs min z s.t. sum_j x_ij = 1, sum_i C_ij x_ij <= z.
+// When integer is true the x variables are integral (for the B&B baseline).
+func buildMinMaxLP(p *Problem, cands [][]candidate, integer bool) (*lp.Problem, [][]int, int) {
+	prob := lp.NewProblem()
+	z := prob.AddVar("z", 1, 0, lp.Inf)
+	vars := make([][]int, len(cands))
+	ringCoefs := make([][]lp.Coef, len(p.Array.Rings))
+	for i, cs := range cands {
+		vars[i] = make([]int, len(cs))
+		rowCoefs := make([]lp.Coef, len(cs))
+		for k, c := range cs {
+			name := fmt.Sprintf("x_%d_%d", i, c.ring)
+			var v int
+			if integer {
+				v = prob.AddIntVar(name, 0, 0, 1)
+			} else {
+				v = prob.AddVar(name, 0, 0, 1)
+			}
+			vars[i][k] = v
+			rowCoefs[k] = lp.Coef{Var: v, Val: 1}
+			ringCoefs[c.ring] = append(ringCoefs[c.ring], lp.Coef{Var: v, Val: c.cap})
+		}
+		prob.AddConstraint(lp.EQ, 1, rowCoefs...)
+	}
+	for j, coefs := range ringCoefs {
+		if len(coefs) == 0 {
+			continue
+		}
+		_ = j
+		prob.AddConstraint(lp.LE, 0, append(coefs, lp.Coef{Var: z, Val: -1})...)
+	}
+	return prob, vars, z
+}
+
+// MinMaxCapILP solves the same ILP with the generic branch-and-bound solver
+// under a budget, reproducing the paper's Table I baseline protocol (GLPK
+// with a wall-clock bound, best incumbent reported). The returned assignment
+// is nil when the solver finds no incumbent within budget.
+func MinMaxCapILP(p *Problem, opts lp.ILPOptions) (*Assignment, lp.ILPSolution, error) {
+	if err := p.normalize(); err != nil {
+		return nil, lp.ILPSolution{}, err
+	}
+	cands, err := p.candidates()
+	if err != nil {
+		return nil, lp.ILPSolution{}, err
+	}
+	prob, vars, _ := buildMinMaxLP(p, cands, true)
+	sol, err := prob.SolveILP(opts)
+	if err != nil {
+		return nil, sol, err
+	}
+	if sol.X == nil {
+		return nil, sol, nil
+	}
+	choice := greedyRound(cands, vars, sol.X) // integral X: picks the 1s
+	return p.finish(choice), sol, nil
+}
+
+// NearestOnly is the naive baseline: every flip-flop taps its nearest ring,
+// ignoring both capacity and load balance. Used for ablations.
+func NearestOnly(p *Problem) (*Assignment, error) {
+	if err := p.normalize(); err != nil {
+		return nil, err
+	}
+	cands, err := p.candidates()
+	if err != nil {
+		return nil, err
+	}
+	choice := make([]candidate, len(cands))
+	for i, cs := range cands {
+		best := 0
+		for k := range cs {
+			if cs[k].cost < cs[best].cost {
+				best = k
+			}
+		}
+		choice[i] = cs[best]
+	}
+	return p.finish(choice), nil
+}
+
+// FirstFitDecreasing is an alternative rounding-free heuristic for the
+// min-max-capacitance objective (an LPT-style ablation against greedy
+// rounding): flip-flops in decreasing order of their lightest load, each
+// assigned to the ring whose resulting load is smallest.
+func FirstFitDecreasing(p *Problem) (*Assignment, error) {
+	if err := p.normalize(); err != nil {
+		return nil, err
+	}
+	cands, err := p.candidates()
+	if err != nil {
+		return nil, err
+	}
+	order := make([]int, len(cands))
+	key := make([]float64, len(cands))
+	for i, cs := range cands {
+		order[i] = i
+		k := math.Inf(1)
+		for _, c := range cs {
+			k = math.Min(k, c.cap)
+		}
+		key[i] = k
+	}
+	// Insertion sort descending by key (stable, deterministic).
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && key[order[j]] > key[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	loads := make([]float64, len(p.Array.Rings))
+	choice := make([]candidate, len(cands))
+	for _, i := range order {
+		best, bestLoad := -1, math.Inf(1)
+		for k, c := range cands[i] {
+			if l := loads[c.ring] + c.cap; l < bestLoad {
+				best, bestLoad = k, l
+			}
+		}
+		choice[i] = cands[i][best]
+		loads[choice[i].ring] += choice[i].cap
+	}
+	return p.finish(choice), nil
+}

@@ -1,0 +1,85 @@
+// Package bench defines the benchmark suite of the paper's Table II: the
+// five ISCAS89 circuits with their cell, flip-flop, net and rotary-ring
+// counts. The original ISCAS89 netlists are not distributed with this
+// repository, so each circuit is regenerated synthetically with matching
+// statistics (see DESIGN.md for the substitution argument); a real .bench
+// file can be dropped in via netlist.ParseBench instead.
+package bench
+
+import (
+	"fmt"
+
+	"rotaryclk/internal/core"
+	"rotaryclk/internal/netlist"
+)
+
+// Circuit describes one Table II row.
+type Circuit struct {
+	Name      string
+	Cells     int // logic cells + flip-flops
+	FlipFlops int
+	Nets      int     // paper's net count (for reference; generated count is close)
+	PaperPL   float64 // paper's avg source-sink path length in conventional trees, um
+	Rings     int     // rotary rings used by the paper
+	Seed      int64
+}
+
+// Suite is the paper's benchmark set (Table II).
+var Suite = []Circuit{
+	{Name: "s9234", Cells: 1510, FlipFlops: 135, Nets: 1471, PaperPL: 2471, Rings: 16, Seed: 9234},
+	{Name: "s5378", Cells: 1112, FlipFlops: 164, Nets: 1063, PaperPL: 2718, Rings: 25, Seed: 5378},
+	{Name: "s15850", Cells: 3549, FlipFlops: 566, Nets: 3462, PaperPL: 5175, Rings: 36, Seed: 15850},
+	{Name: "s38417", Cells: 11651, FlipFlops: 1463, Nets: 11545, PaperPL: 8261, Rings: 49, Seed: 38417},
+	{Name: "s35932", Cells: 17005, FlipFlops: 1728, Nets: 16685, PaperPL: 8290, Rings: 49, Seed: 35932},
+}
+
+// ByName returns the suite circuit with the given name.
+func ByName(name string) (Circuit, error) {
+	for _, b := range Suite {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return Circuit{}, fmt.Errorf("bench: unknown circuit %q", name)
+}
+
+// Scale returns a proportionally shrunken copy of the circuit description
+// (used to run the full experiment matrix quickly; scale 1 is the paper
+// size). Minimum sizes keep the instances meaningful.
+func (b Circuit) Scale(scale float64) Circuit {
+	if scale >= 1 {
+		return b
+	}
+	s := b
+	s.Cells = maxInt(200, int(float64(b.Cells)*scale))
+	s.FlipFlops = maxInt(24, int(float64(b.FlipFlops)*scale))
+	if s.FlipFlops >= s.Cells {
+		s.FlipFlops = s.Cells / 4
+	}
+	s.Nets = maxInt(180, int(float64(b.Nets)*scale))
+	s.Rings = maxInt(4, int(float64(b.Rings)*scale))
+	return s
+}
+
+// Generate materializes the synthetic netlist for this circuit.
+func (b Circuit) Generate() (*netlist.Circuit, error) {
+	return netlist.Generate(netlist.GenSpec{
+		Name:      b.Name,
+		Cells:     b.Cells,
+		FlipFlops: b.FlipFlops,
+		Seed:      b.Seed,
+	})
+}
+
+// Config returns the flow configuration the experiments use for this
+// circuit: the paper's ring count, defaults elsewhere.
+func (b Circuit) Config() core.Config {
+	return core.Config{NumRings: b.Rings}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

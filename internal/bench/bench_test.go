@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"testing"
+)
+
+func TestSuiteMatchesPaperTableII(t *testing.T) {
+	want := map[string][3]int{ // cells, FFs, rings
+		"s9234":  {1510, 135, 16},
+		"s5378":  {1112, 164, 25},
+		"s15850": {3549, 566, 36},
+		"s38417": {11651, 1463, 49},
+		"s35932": {17005, 1728, 49},
+	}
+	if len(Suite) != 5 {
+		t.Fatalf("suite has %d circuits", len(Suite))
+	}
+	for _, b := range Suite {
+		w, ok := want[b.Name]
+		if !ok {
+			t.Errorf("unexpected circuit %q", b.Name)
+			continue
+		}
+		if b.Cells != w[0] || b.FlipFlops != w[1] || b.Rings != w[2] {
+			t.Errorf("%s = %d/%d/%d, want %v", b.Name, b.Cells, b.FlipFlops, b.Rings, w)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	b, err := ByName("s15850")
+	if err != nil || b.FlipFlops != 566 {
+		t.Fatalf("ByName = %+v, %v", b, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestScale(t *testing.T) {
+	b, _ := ByName("s35932")
+	s := b.Scale(0.1)
+	if s.Cells != 1700 || s.FlipFlops != 172 {
+		t.Errorf("scaled = %d cells, %d FFs", s.Cells, s.FlipFlops)
+	}
+	if s.Rings != 4 {
+		t.Errorf("scaled rings = %d", s.Rings)
+	}
+	// Scale >= 1 is identity.
+	if b.Scale(1.5) != b {
+		t.Error("upscale should be identity")
+	}
+	// Tiny scales respect minimums and keep FFs < cells.
+	tiny := b.Scale(0.0001)
+	if tiny.Cells < 200 || tiny.FlipFlops >= tiny.Cells {
+		t.Errorf("tiny scale = %+v", tiny)
+	}
+}
+
+func TestGenerateStats(t *testing.T) {
+	b, _ := ByName("s9234")
+	b = b.Scale(0.1)
+	c, err := b.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Cells != b.Cells || st.FlipFlops != b.FlipFlops {
+		t.Errorf("generated %d/%d, want %d/%d", st.Cells, st.FlipFlops, b.Cells, b.FlipFlops)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFullScaleGenerateStats(t *testing.T) {
+	// Full-size s38417: the generator must hit Table II exactly on cells
+	// and flip-flops and land near the paper's net count.
+	b, _ := ByName("s38417")
+	c, err := b.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Cells != 11651 || st.FlipFlops != 1463 {
+		t.Fatalf("stats = %+v", st)
+	}
+	ratio := float64(st.Nets) / float64(b.Nets)
+	if ratio < 0.9 || ratio > 1.15 {
+		t.Errorf("net count %d vs paper %d (ratio %.2f)", st.Nets, b.Nets, ratio)
+	}
+}
+
+func TestConfig(t *testing.T) {
+	b, _ := ByName("s5378")
+	cfg := b.Config()
+	if cfg.NumRings != 25 {
+		t.Errorf("NumRings = %d", cfg.NumRings)
+	}
+}

@@ -1,0 +1,148 @@
+// Package clocktree builds conventional clock distribution trees over a set
+// of sinks by recursive geometric matching (the clustering approach of
+// Edahiro and the zero-skew constructions of Chao et al., the baselines the
+// paper's Table II cites for its average source-sink path length column).
+//
+// The tree is used as the conventional-clocking reference: its average
+// source-to-sink path length is what the rotary flow's average flip-flop
+// tapping distance (AFD) is compared against.
+package clocktree
+
+import (
+	"math"
+
+	"rotaryclk/internal/geom"
+)
+
+// Node is one vertex of the clock tree. Leaves carry Sink >= 0 (the index of
+// the sink they serve); internal nodes have exactly the children they merged.
+type Node struct {
+	Pos      geom.Point
+	Sink     int
+	Children []*Node
+}
+
+// Build constructs a clock tree over the sinks by bottom-up nearest-neighbor
+// pairing: each level greedily matches the two closest subtree roots and
+// places their parent at the merged midpoint, halving the node count per
+// level until one root remains. It returns nil for an empty sink set.
+func Build(sinks []geom.Point) *Node {
+	if len(sinks) == 0 {
+		return nil
+	}
+	level := make([]*Node, len(sinks))
+	for i, p := range sinks {
+		level[i] = &Node{Pos: p, Sink: i}
+	}
+	for len(level) > 1 {
+		level = mergeLevel(level)
+	}
+	return level[0]
+}
+
+// mergeLevel pairs up nodes greedily by Manhattan proximity (deterministic:
+// scan order breaks ties) and returns the parent level.
+func mergeLevel(nodes []*Node) []*Node {
+	used := make([]bool, len(nodes))
+	var next []*Node
+	for i := range nodes {
+		if used[i] {
+			continue
+		}
+		used[i] = true
+		best, bestD := -1, math.Inf(1)
+		for j := i + 1; j < len(nodes); j++ {
+			if used[j] {
+				continue
+			}
+			if d := nodes[i].Pos.Manhattan(nodes[j].Pos); d < bestD {
+				best, bestD = j, d
+			}
+		}
+		if best < 0 {
+			// Odd one out: promote unchanged.
+			next = append(next, nodes[i])
+			continue
+		}
+		used[best] = true
+		mid := geom.Pt(
+			(nodes[i].Pos.X+nodes[best].Pos.X)/2,
+			(nodes[i].Pos.Y+nodes[best].Pos.Y)/2,
+		)
+		next = append(next, &Node{Pos: mid, Sink: -1, Children: []*Node{nodes[i], nodes[best]}})
+	}
+	return next
+}
+
+// AvgSourceSinkPath returns the mean, over all sinks, of the wirelength of
+// the root-to-sink path (Table II's PL column). Returns 0 for nil trees.
+func AvgSourceSinkPath(root *Node) float64 {
+	if root == nil {
+		return 0
+	}
+	total, count := pathSums(root, 0)
+	if count == 0 {
+		return 0
+	}
+	return total / float64(count)
+}
+
+func pathSums(n *Node, depthLen float64) (total float64, sinks int) {
+	if len(n.Children) == 0 {
+		if n.Sink >= 0 {
+			return depthLen, 1
+		}
+		return 0, 0
+	}
+	for _, ch := range n.Children {
+		t, s := pathSums(ch, depthLen+n.Pos.Manhattan(ch.Pos))
+		total += t
+		sinks += s
+	}
+	return total, sinks
+}
+
+// TotalWL returns the total wirelength of the tree (sum of all parent-child
+// Manhattan segments).
+func TotalWL(root *Node) float64 {
+	if root == nil {
+		return 0
+	}
+	total := 0.0
+	for _, ch := range root.Children {
+		total += root.Pos.Manhattan(ch.Pos) + TotalWL(ch)
+	}
+	return total
+}
+
+// CountSinks returns the number of sink leaves under root.
+func CountSinks(root *Node) int {
+	if root == nil {
+		return 0
+	}
+	if len(root.Children) == 0 {
+		if root.Sink >= 0 {
+			return 1
+		}
+		return 0
+	}
+	n := 0
+	for _, ch := range root.Children {
+		n += CountSinks(ch)
+	}
+	return n
+}
+
+// Depth returns the number of edges on the longest root-to-leaf path.
+func Depth(root *Node) int {
+	if root == nil || len(root.Children) == 0 {
+		return 0
+	}
+	d := 0
+	for _, ch := range root.Children {
+		if cd := Depth(ch); cd > d {
+			d = cd
+		}
+	}
+	return d + 1
+}

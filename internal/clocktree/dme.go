@@ -1,0 +1,188 @@
+package clocktree
+
+import (
+	"math"
+
+	"rotaryclk/internal/geom"
+)
+
+// Deferred-Merge Embedding (DME), the exact zero-skew construction of Chao,
+// Hsu, Ho, Boese and Kahng that the paper's Table II cites. DME defers the
+// embedding of internal nodes: the bottom-up phase computes, per node, the
+// locus of all positions admitting a zero-skew subtree of minimal wirelength
+// (a merge region), and the top-down phase picks concrete points.
+//
+// The geometry uses the classic rotation u = x+y, v = x-y: the Manhattan
+// metric in (x, y) becomes Chebyshev (L-infinity) in (u, v), where Manhattan
+// balls — and therefore all tilted rectangular regions (TRRs) — are plain
+// axis-aligned rectangles. Merge regions stay axis-aligned rectangles under
+// expansion and intersection, so the whole construction is rectangle
+// arithmetic.
+
+// uvRect is an axis-aligned rectangle in the rotated (u, v) plane.
+type uvRect struct {
+	uLo, uHi, vLo, vHi float64
+}
+
+func uvFromPoint(p geom.Point) uvRect {
+	u, v := p.X+p.Y, p.X-p.Y
+	return uvRect{u, u, v, v}
+}
+
+// point returns a representative (x, y) point of the region (its center).
+func (r uvRect) point() geom.Point {
+	u, v := (r.uLo+r.uHi)/2, (r.vLo+r.vHi)/2
+	return geom.Pt((u+v)/2, (u-v)/2)
+}
+
+// expand grows the region by radius e in the Chebyshev metric (the Minkowski
+// sum with an L-infinity ball, i.e. a Manhattan ball back in (x, y)).
+func (r uvRect) expand(e float64) uvRect {
+	return uvRect{r.uLo - e, r.uHi + e, r.vLo - e, r.vHi + e}
+}
+
+// dist returns the Chebyshev distance between two regions (0 if they
+// intersect) — the minimum Manhattan distance between their (x, y) shapes.
+func (r uvRect) dist(o uvRect) float64 {
+	du := math.Max(0, math.Max(o.uLo-r.uHi, r.uLo-o.uHi))
+	dv := math.Max(0, math.Max(o.vLo-r.vHi, r.vLo-o.vHi))
+	return math.Max(du, dv)
+}
+
+// intersect clips r to o. Callers guarantee a nonempty result; degenerate
+// (zero-area) rectangles are fine and common (they are the merge segments).
+func (r uvRect) intersect(o uvRect) uvRect {
+	out := uvRect{
+		uLo: math.Max(r.uLo, o.uLo), uHi: math.Min(r.uHi, o.uHi),
+		vLo: math.Max(r.vLo, o.vLo), vHi: math.Min(r.vHi, o.vHi),
+	}
+	if out.uLo > out.uHi {
+		m := (out.uLo + out.uHi) / 2
+		out.uLo, out.uHi = m, m
+	}
+	if out.vLo > out.vHi {
+		m := (out.vLo + out.vHi) / 2
+		out.vLo, out.vHi = m, m
+	}
+	return out
+}
+
+// nearestTo returns the point of r nearest (Chebyshev) to q, by clamping.
+func (r uvRect) nearestTo(q uvRect) uvRect {
+	u := math.Min(math.Max(q.uLo, r.uLo), r.uHi)
+	v := math.Min(math.Max(q.vLo, r.vLo), r.vHi)
+	return uvRect{u, u, v, v}
+}
+
+// dmeNode is one node of the deferred tree.
+type dmeNode struct {
+	region   uvRect
+	delay    float64 // zero-skew delay from this node to every sink below
+	sink     int
+	children [2]*dmeNode
+	edge     [2]float64 // wirelength budgeted to each child (detours included)
+}
+
+// BuildDME constructs a zero-skew clock tree with the DME algorithm over the
+// nearest-neighbor pairing topology, under the linear delay model. It
+// returns a ZSNode tree (same shape as BuildZeroSkew) whose root-to-sink
+// path lengths are all exactly equal, with total wirelength no worse — and
+// typically better — than the immediate-embedding construction, because the
+// merge regions defer placement decisions until the top-down pass.
+func BuildDME(sinks []geom.Point) *ZSNode {
+	if len(sinks) == 0 {
+		return nil
+	}
+	// Bottom-up: merge by proximity of regions.
+	level := make([]*dmeNode, len(sinks))
+	for i, p := range sinks {
+		level[i] = &dmeNode{region: uvFromPoint(p), sink: i}
+	}
+	for len(level) > 1 {
+		level = mergeDMELevel(level)
+	}
+	root := level[0]
+
+	// Top-down: embed the root at its region's representative point, then
+	// every child at the point of its merge region nearest to its parent
+	// (snaking absorbs any slack up to the budgeted edge length).
+	out := embedDME(root, root.region.point())
+	return out
+}
+
+func mergeDMELevel(nodes []*dmeNode) []*dmeNode {
+	used := make([]bool, len(nodes))
+	var next []*dmeNode
+	for i := range nodes {
+		if used[i] {
+			continue
+		}
+		used[i] = true
+		best, bestD := -1, math.Inf(1)
+		for j := i + 1; j < len(nodes); j++ {
+			if used[j] {
+				continue
+			}
+			if d := nodes[i].region.dist(nodes[j].region); d < bestD {
+				best, bestD = j, d
+			}
+		}
+		if best < 0 {
+			next = append(next, nodes[i])
+			continue
+		}
+		used[best] = true
+		next = append(next, mergeDME(nodes[i], nodes[best]))
+	}
+	return next
+}
+
+// mergeDME builds the parent of a and b: split the region distance d so the
+// two subtree delays balance (with a detour on the shallow side when one
+// subtree is too deep), and intersect the expanded regions.
+func mergeDME(a, b *dmeNode) *dmeNode {
+	d := a.region.dist(b.region)
+	e1 := (d + b.delay - a.delay) / 2
+	e2 := d - e1
+	switch {
+	case e1 < 0:
+		e1 = 0
+		e2 = a.delay - b.delay
+	case e2 < 0:
+		e2 = 0
+		e1 = b.delay - a.delay
+	}
+	region := a.region.expand(e1).intersect(b.region.expand(e2))
+	return &dmeNode{
+		region:   region,
+		delay:    a.delay + e1,
+		children: [2]*dmeNode{a, b},
+		edge:     [2]float64{e1, e2},
+	}
+}
+
+// embedDME places node n at the uv point `at` and recursively embeds its
+// children, producing the concrete ZSNode tree.
+func embedDME(n *dmeNode, at geom.Point) *ZSNode {
+	out := &ZSNode{Pos: at, Sink: n.sink, Delay: n.delay}
+	if n.children[0] == nil {
+		out.Sink = n.sink
+		return out
+	}
+	out.Sink = -1
+	atUV := uvFromPoint(at)
+	for k, ch := range n.children {
+		if ch == nil {
+			continue
+		}
+		// The child sits at the point of its region nearest to the parent;
+		// the geometric distance never exceeds the budgeted edge length
+		// (at lies in child.region.expand(edge)), and any slack is wire
+		// snaking that the budget already pays for.
+		spot := ch.region.nearestTo(atUV)
+		child := embedDME(ch, spot.point())
+		out.Children = append(out.Children, child)
+		out.EdgeLen = append(out.EdgeLen, n.edge[k])
+	}
+	return out
+}

@@ -1,0 +1,124 @@
+// Package congestion estimates routing congestion of a placement with the
+// standard probabilistic bounding-box model: every net spreads its expected
+// horizontal and vertical track demand uniformly over the bins its bounding
+// box covers. Congestion is one of the placement objectives the paper lists
+// (Section II, "total signal net wirelength, congestion, critical path
+// timing"), and the congestion map doubles as a sanity check that the
+// pseudo-net iterations do not crowd the rings.
+package congestion
+
+import (
+	"fmt"
+	"math"
+
+	"rotaryclk/internal/netlist"
+)
+
+// Map is a routing-demand grid. Hor[y*W+x] is the expected horizontal track
+// demand (um of horizontal wire) in bin (x, y); Ver likewise for vertical.
+type Map struct {
+	W, H       int
+	Hor, Ver   []float64
+	BinW, BinH float64
+}
+
+// Estimate builds the congestion map of a placed circuit on a grid x grid
+// overlay. Multi-pin nets route as (pins-1)/2 expected bbox traversals, a
+// common closed-form for probabilistic demand.
+func Estimate(c *netlist.Circuit, grid int) (*Map, error) {
+	if grid <= 0 {
+		return nil, fmt.Errorf("congestion: grid %d invalid", grid)
+	}
+	if c.Die.Area() <= 0 {
+		return nil, fmt.Errorf("congestion: empty die")
+	}
+	m := &Map{
+		W: grid, H: grid,
+		Hor:  make([]float64, grid*grid),
+		Ver:  make([]float64, grid*grid),
+		BinW: c.Die.W() / float64(grid),
+		BinH: c.Die.H() / float64(grid),
+	}
+	clamp := func(v, n int) int {
+		if v < 0 {
+			return 0
+		}
+		if v >= n {
+			return n - 1
+		}
+		return v
+	}
+	for _, net := range c.Nets {
+		if len(net.Pins) < 2 {
+			continue
+		}
+		minX, minY := math.Inf(1), math.Inf(1)
+		maxX, maxY := math.Inf(-1), math.Inf(-1)
+		for _, id := range net.Pins {
+			p := c.Cells[id].Pos
+			minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+			minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+		}
+		traversals := float64(len(net.Pins)-1) / 2
+		if traversals < 1 {
+			traversals = 1
+		}
+		x0 := clamp(int((minX-c.Die.Lo.X)/m.BinW), grid)
+		x1 := clamp(int((maxX-c.Die.Lo.X)/m.BinW), grid)
+		y0 := clamp(int((minY-c.Die.Lo.Y)/m.BinH), grid)
+		y1 := clamp(int((maxY-c.Die.Lo.Y)/m.BinH), grid)
+		nBins := float64((x1 - x0 + 1) * (y1 - y0 + 1))
+		hDemand := (maxX - minX) * traversals / nBins
+		vDemand := (maxY - minY) * traversals / nBins
+		for y := y0; y <= y1; y++ {
+			for x := x0; x <= x1; x++ {
+				m.Hor[y*grid+x] += hDemand
+				m.Ver[y*grid+x] += vDemand
+			}
+		}
+	}
+	return m, nil
+}
+
+// Stats summarizes a congestion map against per-bin track capacity (um of
+// wire a bin can carry per direction).
+type Stats struct {
+	PeakH, PeakV float64 // worst-bin demand, um
+	AvgH, AvgV   float64
+	// OverflowBins counts bins whose demand exceeds the capacity in either
+	// direction.
+	OverflowBins int
+	// WorstUtil is the worst demand/capacity ratio over both directions.
+	WorstUtil float64
+}
+
+// Stats evaluates the map against the given per-bin capacity.
+func (m *Map) Stats(capPerBin float64) Stats {
+	var s Stats
+	n := float64(len(m.Hor))
+	for i := range m.Hor {
+		h, v := m.Hor[i], m.Ver[i]
+		s.AvgH += h / n
+		s.AvgV += v / n
+		s.PeakH = math.Max(s.PeakH, h)
+		s.PeakV = math.Max(s.PeakV, v)
+		if capPerBin > 0 {
+			if h > capPerBin || v > capPerBin {
+				s.OverflowBins++
+			}
+			s.WorstUtil = math.Max(s.WorstUtil, math.Max(h, v)/capPerBin)
+		}
+	}
+	return s
+}
+
+// TotalDemand returns the summed horizontal+vertical demand, which for the
+// uniform model equals the total bounding-box wirelength times the
+// multi-pin traversal factor (a useful cross-check against HPWL).
+func (m *Map) TotalDemand() float64 {
+	t := 0.0
+	for i := range m.Hor {
+		t += m.Hor[i] + m.Ver[i]
+	}
+	return t
+}

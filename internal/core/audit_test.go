@@ -1,0 +1,105 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"rotaryclk/internal/geom"
+)
+
+func TestAuditAcceptsFlowOutput(t *testing.T) {
+	for _, cfg := range []Config{
+		{NumRings: 9, MaxIters: 3},
+		{NumRings: 4, MaxIters: 2, Assigner: ILP},
+		{NumRings: 4, MaxIters: 2, Objective: WeightedSum},
+	} {
+		c := genCircuit(t, 300, 40, 21)
+		res, err := Run(c, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Audit(c, cfg, res); err != nil {
+			t.Errorf("audit rejected a fresh flow result (%+v): %v", cfg, err)
+		}
+	}
+}
+
+func TestAuditCatchesCorruption(t *testing.T) {
+	cfg := Config{NumRings: 4, MaxIters: 1}
+	c := genCircuit(t, 300, 40, 22)
+	res, err := Run(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("tap-off-ring", func(t *testing.T) {
+		bad := *res
+		a := *res.Assign
+		a.Taps = append(a.Taps[:0:0], a.Taps...)
+		a.Taps[0].Point = geom.Pt(-50, -50)
+		bad.Assign = &a
+		if err := Audit(c, cfg, &bad); err == nil || !strings.Contains(err.Error(), "off ring") {
+			t.Errorf("audit missed off-ring tap: %v", err)
+		}
+	})
+
+	t.Run("wrong-delay", func(t *testing.T) {
+		bad := *res
+		a := *res.Assign
+		a.Taps = append(a.Taps[:0:0], a.Taps...)
+		a.Taps[0].Delay += 123.4
+		bad.Assign = &a
+		if err := Audit(c, cfg, &bad); err == nil || !strings.Contains(err.Error(), "realize") {
+			t.Errorf("audit missed wrong delay: %v", err)
+		}
+	})
+
+	t.Run("broken-schedule", func(t *testing.T) {
+		bad := *res
+		bad.Schedule = append([]float64(nil), res.Schedule...)
+		// A wild target breaks the difference constraints (and the tap
+		// realization check fires first only if delays mismatch, so also
+		// shift the working slack to force the constraint check).
+		bad.Schedule[0] += 5000
+		if err := Audit(c, cfg, &bad); err == nil {
+			t.Error("audit missed corrupted schedule")
+		}
+	})
+
+	t.Run("bad-bookkeeping", func(t *testing.T) {
+		bad := *res
+		a := *res.Assign
+		a.Total += 999
+		bad.Assign = &a
+		if err := Audit(c, cfg, &bad); err == nil || !strings.Contains(err.Error(), "total") {
+			t.Errorf("audit missed bad total: %v", err)
+		}
+	})
+
+	t.Run("overlapping-cells", func(t *testing.T) {
+		// Mutate the circuit: stack one movable cell onto another.
+		pos := c.Positions()
+		defer c.SetPositions(pos)
+		var first = -1
+		for _, cell := range c.Cells {
+			if cell.Fixed {
+				continue
+			}
+			if first < 0 {
+				first = cell.ID
+				continue
+			}
+			c.Cells[cell.ID].Pos = c.Cells[first].Pos
+			break
+		}
+		if err := Audit(c, cfg, res); err == nil || !strings.Contains(err.Error(), "overlap") {
+			t.Errorf("audit missed overlap: %v", err)
+		}
+	})
+
+	t.Run("incomplete-result", func(t *testing.T) {
+		if err := Audit(c, cfg, &Result{}); err == nil {
+			t.Error("audit accepted an empty result")
+		}
+	})
+}

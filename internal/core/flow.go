@@ -1,0 +1,419 @@
+// Package core implements the paper's primary contribution: the integrated
+// placement and skew optimization methodology of Fig. 3. The six stages are
+//
+//  1. initial placement (quadratic global placement + legalization)
+//  2. max-slack skew optimization (Fishburn / graph-based)
+//  3. flip-flop-to-ring assignment (network flow or ILP)
+//  4. cost-driven skew optimization (min-Delta or weighted-sum)
+//  5. cost evaluation / convergence check
+//  6. pseudo-net incremental placement, looping back to 3
+//
+// Run executes the whole flow and reports the paper's metrics (AFD, tapping
+// wirelength, signal wirelength, power) for both the base case (after the
+// first assignment, Table III) and the converged result (Table IV).
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"rotaryclk/internal/assign"
+	"rotaryclk/internal/geom"
+	"rotaryclk/internal/netlist"
+	"rotaryclk/internal/placer"
+	"rotaryclk/internal/power"
+	"rotaryclk/internal/rotary"
+	"rotaryclk/internal/skew"
+	"rotaryclk/internal/timing"
+)
+
+// Assigner selects the stage-3 formulation.
+type Assigner int
+
+// Stage-3 assignment formulations.
+const (
+	NetworkFlow Assigner = iota // Section V: min total tapping cost
+	ILP                         // Section VI: min max load capacitance
+)
+
+func (a Assigner) String() string {
+	if a == ILP {
+		return "ilp"
+	}
+	return "network-flow"
+}
+
+// SkewObjective selects the stage-4 cost-driven formulation.
+type SkewObjective int
+
+// Stage-4 objectives.
+const (
+	MinDelta    SkewObjective = iota // minimize max anchor mismatch
+	WeightedSum                      // minimize sum w_i |t_i - target_i|
+)
+
+// Config parameterizes the flow.
+type Config struct {
+	Params   rotary.Params // rotary ring electrical/timing constants
+	TModel   timing.Model  // STA calibration
+	PowerPar power.Params
+
+	NumRings int     // rings in the array (Table II's final column)
+	RingFill float64 // ring side as a fraction of its tile (default 0.6)
+
+	Assigner  Assigner
+	Objective SkewObjective
+	K         int // candidate rings per flip-flop (default 6)
+
+	MaxIters     int     // stage 3-6 iterations (default 5, as in the paper)
+	PseudoWeight float64 // pseudo-net pull weight, ramped by iteration (default 4)
+	TapWeight    float64 // weight of tapping WL in the stage-5 overall cost (default 8)
+	SlackFrac    float64 // fraction of max slack reserved during stage 4 (default 0.5)
+	ConvergeTol  float64 // relative cost improvement to keep iterating (default 0.01)
+
+	SkipInitialPlace bool // reuse the circuit's existing placement
+}
+
+func (c *Config) normalize() {
+	if c.Params == (rotary.Params{}) {
+		c.Params = rotary.DefaultParams()
+	}
+	if c.TModel.Intrinsic == nil {
+		c.TModel = timing.DefaultModel()
+	}
+	if c.PowerPar == (power.Params{}) {
+		c.PowerPar = power.DefaultParams()
+	}
+	if c.NumRings <= 0 {
+		c.NumRings = 16
+	}
+	if c.RingFill <= 0 || c.RingFill > 1 {
+		c.RingFill = 0.6
+	}
+	if c.K <= 0 {
+		c.K = 6
+	}
+	if c.MaxIters <= 0 {
+		c.MaxIters = 5
+	}
+	if c.PseudoWeight <= 0 {
+		c.PseudoWeight = 4
+	}
+	if c.TapWeight <= 0 {
+		c.TapWeight = 8
+	}
+	if c.SlackFrac <= 0 || c.SlackFrac > 1 {
+		c.SlackFrac = 0.5
+	}
+	if c.ConvergeTol <= 0 {
+		c.ConvergeTol = 0.01
+	}
+}
+
+// Metrics are the paper's per-design measurements.
+type Metrics struct {
+	AFD         float64 // average flip-flop tapping distance, um
+	TapWL       float64 // total tapping wirelength, um
+	SignalWL    float64 // total signal-net HPWL, um
+	TotalWL     float64 // TapWL + SignalWL
+	MaxCap      float64 // max ring load capacitance, fF
+	ClockPower  float64 // mW
+	SignalPower float64 // mW
+	TotalPower  float64 // mW (dynamic; leakage is reported separately)
+	LeakPower   float64 // mW, eq. (9) -- placement independent
+	WCP         float64 // wirelength-capacitance product (Table VII), um*pF
+}
+
+// Result is the output of Run.
+type Result struct {
+	Base       Metrics // after the first stage-3 assignment (Table III)
+	Final      Metrics // converged (Table IV)
+	PerIter    []Metrics
+	Iterations int
+
+	MaxSlack float64   // M* from stage 2, ps
+	Schedule []float64 // final delay targets per flip-flop (by FF order)
+	FFCells  []int     // cell IDs in flip-flop order
+	Assign   *assign.Assignment
+	Array    *rotary.Array
+
+	WorkSlack float64 // slack margin the final schedule is feasible at, ps
+
+	PlaceSeconds float64 // CPU in placement stages (1 and 6)
+	OptSeconds   float64 // CPU in stages 2-5
+}
+
+// Run executes the integrated flow on the circuit (placement is written onto
+// it). The circuit must validate and have a non-empty die.
+func Run(c *netlist.Circuit, cfg Config) (*Result, error) {
+	cfg.normalize()
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid circuit: %w", err)
+	}
+	res := &Result{FFCells: c.FlipFlops()}
+	n := len(res.FFCells)
+	if n == 0 {
+		return nil, fmt.Errorf("core: circuit %q has no flip-flops", c.Name)
+	}
+	ffIdx := make(map[int]int, n)
+	for i, id := range res.FFCells {
+		ffIdx[id] = i
+	}
+
+	// Stage 1: initial placement.
+	tPlace := time.Now()
+	if !cfg.SkipInitialPlace {
+		if err := placer.Global(c, placer.Options{}); err != nil {
+			return nil, fmt.Errorf("core: global placement: %w", err)
+		}
+		if err := placer.Legalize(c); err != nil {
+			return nil, fmt.Errorf("core: legalization: %w", err)
+		}
+		// Detailed refinement only on the initial placement: inside the
+		// loop, swap-based refinement would pull flip-flops off the tapping
+		// points the pseudo-nets just placed them at.
+		if _, err := placer.Detailed(c, 2); err != nil {
+			return nil, fmt.Errorf("core: detailed placement: %w", err)
+		}
+	}
+	res.PlaceSeconds += time.Since(tPlace).Seconds()
+
+	// Rotary ring array over the die.
+	arr, err := rotary.SquareArray(c.Die, cfg.NumRings, cfg.RingFill, cfg.Params)
+	if err != nil {
+		return nil, fmt.Errorf("core: ring array: %w", err)
+	}
+	res.Array = arr
+
+	// Stage 2: max-slack skew optimization.
+	tOpt := time.Now()
+	pairs, err := seqPairs(c, cfg.TModel, ffIdx)
+	if err != nil {
+		return nil, err
+	}
+	M, sched, err := skew.MaxSlackExact(n, pairs, cfg.Params.Period, cfg.TModel.TSetup, cfg.TModel.THold)
+	if err != nil {
+		return nil, fmt.Errorf("core: max-slack skew optimization: %w", err)
+	}
+	res.MaxSlack = M
+	res.Schedule = sched
+
+	// Stage 3: initial assignment -> base case metrics.
+	asg, err := runAssign(c, cfg, arr, res.FFCells, sched)
+	if err != nil {
+		return nil, err
+	}
+	res.Assign = asg
+	res.OptSeconds += time.Since(tOpt).Seconds()
+	res.Base = measure(c, cfg, asg, n)
+	res.Final = res.Base
+	res.PerIter = append(res.PerIter, res.Base)
+
+	// Stages 4-6 loop. Each iteration moves flip-flops toward their current
+	// tapping points, then re-derives a consistent (timing, schedule,
+	// assignment) triple for the new placement and measures it. The best
+	// iterate is kept; its placement is restored at the end, so the
+	// reported schedule provably satisfies the timing constraints of the
+	// reported cell locations.
+	res.WorkSlack = workSlack(cfg.SlackFrac, M)
+	best := snapshot{
+		pos:   c.Positions(),
+		sched: sched,
+		asg:   asg,
+		m:     res.Base,
+		mWork: res.WorkSlack,
+	}
+	// Stage-5 evaluation: the network-flow formulation optimizes wirelength
+	// (weighted sum of tapping and signal WL); the ILP formulation optimizes
+	// frequency, so its iterations are judged by the wirelength-capacitance
+	// product instead (Table VII's metric).
+	cost := func(m Metrics) float64 {
+		if cfg.Assigner == ILP {
+			return m.WCP
+		}
+		return cfg.TapWeight*m.TapWL + m.SignalWL
+	}
+	prevCost := cost(res.Base)
+	bestCost := prevCost
+	stall := 0
+	for iter := 1; iter <= cfg.MaxIters; iter++ {
+		// Stage 6: pseudo-net incremental placement toward the current
+		// assignment's tapping points.
+		tPlace = time.Now()
+		pn := make([]placer.PseudoNet, 0, n)
+		for i, id := range res.FFCells {
+			pn = append(pn, placer.PseudoNet{
+				Cell:   id,
+				Target: asg.Taps[i].Point,
+				Weight: cfg.PseudoWeight * float64(iter),
+			})
+		}
+		if err := placer.Incremental(c, placer.Options{PseudoNets: pn}); err != nil {
+			return nil, fmt.Errorf("core: incremental placement (iter %d): %w", iter, err)
+		}
+		if err := placer.Legalize(c); err != nil {
+			return nil, fmt.Errorf("core: legalization (iter %d): %w", iter, err)
+		}
+		// Recover signal wirelength disturbed by the pull + legalization,
+		// holding the flip-flops where the pseudo-nets put them.
+		if _, err := placer.DetailedExcluding(c, 1, res.FFCells); err != nil {
+			return nil, fmt.Errorf("core: detailed placement (iter %d): %w", iter, err)
+		}
+		res.PlaceSeconds += time.Since(tPlace).Seconds()
+
+		// Stage 4 on the new placement: re-derive the working slack and the
+		// cost-driven schedule.
+		tOpt = time.Now()
+		pairs, err = seqPairs(c, cfg.TModel, ffIdx)
+		if err != nil {
+			return nil, err
+		}
+		mWork := res.WorkSlack
+		if mi, _, err := skew.MaxSlackExact(n, pairs, cfg.Params.Period, cfg.TModel.TSetup, cfg.TModel.THold); err == nil {
+			mWork = workSlack(cfg.SlackFrac, mi)
+		}
+		cons := skew.Constraints(pairs, cfg.Params.Period, mWork, cfg.TModel.TSetup, cfg.TModel.THold)
+		// Inner fixed point of stages 4 and 3: the schedule chases the
+		// nearest ring phases and the assignment chases the schedule; two
+		// rounds settle the pair for the current placement.
+		for inner := 0; inner < 2; inner++ {
+			sched, err = costDriven(c, cfg, arr, res.FFCells, asg, sched, cons)
+			if err != nil {
+				return nil, fmt.Errorf("core: cost-driven skew (iter %d): %w", iter, err)
+			}
+			asg, err = runAssign(c, cfg, arr, res.FFCells, sched)
+			if err != nil {
+				return nil, fmt.Errorf("core: assignment (iter %d): %w", iter, err)
+			}
+		}
+		res.OptSeconds += time.Since(tOpt).Seconds()
+
+		m := measure(c, cfg, asg, n)
+		res.PerIter = append(res.PerIter, m)
+		res.Iterations = iter
+		if cost(m) < bestCost {
+			bestCost = cost(m)
+			best = snapshot{pos: c.Positions(), sched: sched, asg: asg, m: m, mWork: mWork}
+		}
+
+		// Stage 5: convergence on the overall cost, the paper's weighted sum
+		// of total tapping cost and traditional placement cost. One stalled
+		// iteration is tolerated (the pseudo-net ramp often recovers it);
+		// two in a row end the loop.
+		if prevCost-cost(m) < cfg.ConvergeTol*prevCost {
+			stall++
+			if stall >= 2 {
+				break
+			}
+		} else {
+			stall = 0
+		}
+		prevCost = cost(m)
+	}
+
+	// Restore the best iterate.
+	c.SetPositions(best.pos)
+	res.Assign = best.asg
+	res.Schedule = best.sched
+	res.Final = best.m
+	res.WorkSlack = best.mWork
+	return res, nil
+}
+
+// snapshot captures one consistent (placement, schedule, assignment) state.
+type snapshot struct {
+	pos   []geom.Point
+	sched []float64
+	asg   *assign.Assignment
+	m     Metrics
+	mWork float64
+}
+
+// seqPairs runs STA and maps cell IDs to flip-flop indices.
+func seqPairs(c *netlist.Circuit, m timing.Model, ffIdx map[int]int) ([]skew.SeqPair, error) {
+	sta, err := timing.Analyze(c, m)
+	if err != nil {
+		return nil, fmt.Errorf("core: timing analysis: %w", err)
+	}
+	pairs := make([]skew.SeqPair, len(sta.Pairs))
+	for i, p := range sta.Pairs {
+		pairs[i] = skew.SeqPair{U: ffIdx[p.From], V: ffIdx[p.To], DMax: p.DMax, DMin: p.DMin}
+	}
+	return pairs, nil
+}
+
+// runAssign builds and solves the stage-3 assignment problem.
+func runAssign(c *netlist.Circuit, cfg Config, arr *rotary.Array, ffCells []int, sched []float64) (*assign.Assignment, error) {
+	ffs := make([]assign.FF, len(ffCells))
+	for i, id := range ffCells {
+		ffs[i] = assign.FF{Cell: id, Pos: c.Cells[id].Pos, Target: sched[i]}
+	}
+	p := &assign.Problem{Array: arr, FFs: ffs, K: cfg.K}
+	if cfg.Assigner == ILP {
+		a, _, err := assign.MinMaxCap(p)
+		return a, err
+	}
+	return assign.MinCost(p)
+}
+
+// costDriven runs the stage-4 skew optimization: anchors are the phases at
+// the nearest points of each flip-flop's assigned ring, period-shifted next
+// to the current schedule so the |t - target| costs are meaningful.
+func costDriven(c *netlist.Circuit, cfg Config, arr *rotary.Array, ffCells []int, asg *assign.Assignment, sched []float64, cons []skew.DiffConstraint) ([]float64, error) {
+	n := len(ffCells)
+	T := cfg.Params.Period
+	anchors := make([]skew.Anchor, n)
+	targets := make([]float64, n)
+	weights := make([]float64, n)
+	for i, id := range ffCells {
+		ring := arr.Rings[asg.Ring[i]]
+		pos := c.Cells[id].Pos
+		s, _, dist := ring.Nearest(pos)
+		a := ring.DelayAt(s, T)
+		// Shift the anchor by whole periods to sit nearest the current
+		// schedule (clock phase is periodic; the absolute differences in
+		// the cost-driven formulations are not).
+		k := math.Round((sched[i] - a) / T)
+		a += k * T
+		tci := cfg.Params.StubDelay(dist)
+		anchors[i] = skew.Anchor{A: a, TCI: tci}
+		targets[i] = a + tci
+		weights[i] = math.Max(1, dist)
+	}
+	if cfg.Objective == WeightedSum {
+		_, t, err := skew.WeightedSum(n, cons, targets, weights)
+		return t, err
+	}
+	_, t, err := skew.MinDelta(n, cons, anchors, 0)
+	return t, err
+}
+
+// measure collects the paper's metrics for the current placement+assignment.
+func measure(c *netlist.Circuit, cfg Config, asg *assign.Assignment, numFF int) Metrics {
+	m := Metrics{
+		AFD:      asg.AvgDist,
+		TapWL:    asg.Total,
+		SignalWL: c.SignalWL(),
+		MaxCap:   asg.MaxCap,
+	}
+	m.TotalWL = m.TapWL + m.SignalWL
+	m.ClockPower = cfg.PowerPar.Clock(m.TapWL, numFF)
+	m.SignalPower = cfg.PowerPar.Signal(c).Power
+	m.TotalPower = m.ClockPower + m.SignalPower
+	st := c.Stats()
+	m.LeakPower = cfg.PowerPar.Leakage(st.Cells-st.FlipFlops, st.FlipFlops)
+	m.WCP = m.TotalWL * m.MaxCap / 1000 // um * pF
+	return m
+}
+
+// workSlack reserves a fraction of the max slack as timing margin during
+// the cost-driven stage. A negative max slack (a design that cannot close
+// timing at this period) leaves no margin to reserve: taking a fraction
+// would tighten the constraints past feasibility, so the full slack is used.
+func workSlack(frac, m float64) float64 {
+	if m <= 0 {
+		return m
+	}
+	return frac * m
+}

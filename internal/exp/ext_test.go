@@ -1,0 +1,82 @@
+package exp
+
+import (
+	"testing"
+)
+
+func extRuns(t *testing.T) []*CircuitRun {
+	t.Helper()
+	opt := smallOpt()
+	opt.Circuits = []string{"s9234"}
+	runs, err := RunAll(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return runs
+}
+
+func TestVariationStudy(t *testing.T) {
+	runs := extRuns(t)
+	rows, err := VariationStudy(runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	r := rows[0]
+	if r.RotSigma <= 0 || r.TreeSigma <= 0 {
+		t.Fatalf("sigmas = %v / %v", r.RotSigma, r.TreeSigma)
+	}
+	// The paper's motivating claim: rotary clocking shows far lower skew
+	// variability than conventional trees.
+	if r.Ratio < 2 {
+		t.Errorf("tree/rotary sigma ratio %v; expected conventional trees to be clearly worse", r.Ratio)
+	}
+}
+
+func TestLocalTreeStudy(t *testing.T) {
+	runs := extRuns(t)
+	rows, err := LocalTreeStudy(runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.Saved < 0 {
+		t.Errorf("local trees regressed: %+v", r)
+	}
+	if r.BaseWL <= 0 || r.TreeWL <= 0 {
+		t.Errorf("degenerate study: %+v", r)
+	}
+	if r.TreeWL > r.BaseWL {
+		t.Errorf("TreeWL %v exceeds BaseWL %v", r.TreeWL, r.BaseWL)
+	}
+}
+
+func TestRingSweep(t *testing.T) {
+	rows, err := RingSweep("s9234", 0.12, []int{4, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	best := 0
+	for _, r := range rows {
+		if r.Best {
+			best++
+		}
+		if r.TapWL <= 0 || r.WCP <= 0 {
+			t.Errorf("empty row %+v", r)
+		}
+	}
+	if best != 1 {
+		t.Errorf("%d rows marked best, want exactly 1", best)
+	}
+}
+
+func TestRingSweepUnknownCircuit(t *testing.T) {
+	if _, err := RingSweep("sXXXX", 0.1, []int{4}); err == nil {
+		t.Fatal("unknown circuit accepted")
+	}
+}

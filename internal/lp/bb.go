@@ -1,0 +1,176 @@
+package lp
+
+import (
+	"math"
+	"time"
+)
+
+// ILPOptions bounds the branch-and-bound search. The paper's Table I runs a
+// generic public-domain ILP solver with a 10-hour budget and reports the
+// best incumbent; TimeLimit reproduces that protocol at laptop scale.
+type ILPOptions struct {
+	TimeLimit time.Duration // 0 = no limit
+	MaxNodes  int           // 0 = no limit
+	LP        Options       // per-node LP options
+}
+
+// ILPStatus describes the outcome of an integer solve.
+type ILPStatus int
+
+// ILP outcomes.
+const (
+	ILPOptimal    ILPStatus = iota // search exhausted; incumbent is optimal
+	ILPFeasible                    // budget hit with an incumbent in hand
+	ILPInfeasible                  // no integer-feasible point exists
+	ILPNoSolution                  // budget hit before any incumbent
+)
+
+func (s ILPStatus) String() string {
+	switch s {
+	case ILPOptimal:
+		return "optimal"
+	case ILPFeasible:
+		return "feasible"
+	case ILPInfeasible:
+		return "infeasible"
+	case ILPNoSolution:
+		return "no-solution"
+	}
+	return "unknown"
+}
+
+// ILPSolution is the result of SolveILP.
+type ILPSolution struct {
+	Status ILPStatus
+	Obj    float64   // incumbent objective (valid unless NoSolution/Infeasible)
+	X      []float64 // incumbent (integer variables integral)
+	Bound  float64   // best lower bound proved
+	Nodes  int
+}
+
+const intTol = 1e-6
+
+// SolveILP runs depth-first branch and bound over the LP relaxation,
+// branching on the most fractional integer variable. Variables added with
+// AddIntVar are forced integral; continuous variables stay continuous.
+func (p *Problem) SolveILP(opts ILPOptions) (ILPSolution, error) {
+	deadline := time.Time{}
+	if opts.TimeLimit > 0 {
+		deadline = time.Now().Add(opts.TimeLimit)
+	}
+
+	type node struct {
+		lo, hi []float64
+	}
+	root := node{lo: append([]float64(nil), p.lo...), hi: append([]float64(nil), p.hi...)}
+	stack := []node{root}
+
+	res := ILPSolution{Status: ILPNoSolution, Obj: math.Inf(1), Bound: math.Inf(-1)}
+	rootBoundSet := false
+	sawInfeasibleOnly := true
+
+	for len(stack) > 0 {
+		if opts.MaxNodes > 0 && res.Nodes >= opts.MaxNodes {
+			break
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			break
+		}
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		res.Nodes++
+
+		sol, err := p.solveWithBounds(nd.lo, nd.hi, opts.LP)
+		if err != nil {
+			return res, err
+		}
+		if sol.Status == Infeasible {
+			continue
+		}
+		if sol.Status == Unbounded {
+			// Integer problem unbounded below (rare for our uses): report
+			// the relaxation bound and stop.
+			res.Bound = math.Inf(-1)
+			sawInfeasibleOnly = false
+			break
+		}
+		if sol.Status == IterLimit {
+			continue // treat as unexplored; keeps the incumbent valid
+		}
+		sawInfeasibleOnly = false
+		if !rootBoundSet {
+			res.Bound = sol.Obj
+			rootBoundSet = true
+		}
+		if sol.Obj >= res.Obj-1e-9 {
+			continue // pruned by bound
+		}
+
+		// Find the most fractional integer variable.
+		branch, frac := -1, intTol
+		for v := range p.integer {
+			if !p.integer[v] {
+				continue
+			}
+			f := math.Abs(sol.X[v] - math.Round(sol.X[v]))
+			if f > frac {
+				frac, branch = f, v
+			}
+		}
+		if branch < 0 {
+			// Integer feasible: new incumbent.
+			res.Obj = sol.Obj
+			res.X = roundIntegers(p, sol.X)
+			res.Status = ILPFeasible
+			continue
+		}
+
+		floorV := math.Floor(sol.X[branch])
+		left := node{lo: append([]float64(nil), nd.lo...), hi: append([]float64(nil), nd.hi...)}
+		left.hi[branch] = floorV
+		right := node{lo: append([]float64(nil), nd.lo...), hi: append([]float64(nil), nd.hi...)}
+		right.lo[branch] = floorV + 1
+		// DFS: explore the side nearer the fractional value first (pushed
+		// last so it pops first).
+		if sol.X[branch]-floorV > 0.5 {
+			stack = append(stack, left, right)
+		} else {
+			stack = append(stack, right, left)
+		}
+	}
+
+	exhausted := len(stack) == 0 &&
+		(opts.MaxNodes <= 0 || res.Nodes < opts.MaxNodes) &&
+		(deadline.IsZero() || time.Now().Before(deadline))
+	switch {
+	case res.Status == ILPFeasible && exhausted:
+		res.Status = ILPOptimal
+		res.Bound = res.Obj
+	case res.Status == ILPNoSolution && exhausted && sawInfeasibleOnly:
+		res.Status = ILPInfeasible
+	}
+	return res, nil
+}
+
+func roundIntegers(p *Problem, x []float64) []float64 {
+	out := append([]float64(nil), x...)
+	for v, isInt := range p.integer {
+		if isInt {
+			out[v] = math.Round(out[v])
+		}
+	}
+	return out
+}
+
+// solveWithBounds solves the LP with temporarily overridden variable bounds.
+func (p *Problem) solveWithBounds(lo, hi []float64, opts Options) (Solution, error) {
+	oldLo, oldHi := p.lo, p.hi
+	p.lo, p.hi = lo, hi
+	defer func() { p.lo, p.hi = oldLo, oldHi }()
+	for v := range lo {
+		if lo[v] > hi[v] {
+			return Solution{Status: Infeasible}, nil
+		}
+	}
+	return p.SolveOpts(opts)
+}

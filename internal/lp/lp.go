@@ -1,0 +1,223 @@
+// Package lp provides a self-contained linear programming solver (bounded
+// variable two-phase revised simplex) and a branch-and-bound integer
+// programming solver on top of it.
+//
+// The paper solves its LP relaxations with Soplex and its ILP baseline with
+// GLPK; this package is the stdlib-only substitute for both. The simplex
+// keeps variable bounds out of the constraint matrix (essential for the
+// assignment LPs, whose 0 <= x_ij <= 1 box would otherwise double the row
+// count), and maintains an explicit dense basis inverse with periodic
+// refactorization.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Sense is the relational sense of a constraint row.
+type Sense int
+
+// Constraint senses.
+const (
+	LE Sense = iota // <=
+	GE              // >=
+	EQ              // =
+)
+
+func (s Sense) String() string {
+	switch s {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	}
+	return "?"
+}
+
+// Inf is the bound used for unbounded variables.
+var Inf = math.Inf(1)
+
+// Coef is one nonzero entry of a constraint row.
+type Coef struct {
+	Var int
+	Val float64
+}
+
+type constraint struct {
+	coefs []Coef
+	sense Sense
+	rhs   float64
+}
+
+// Problem is a linear (or mixed-integer) program in the form
+//
+//	minimize  c.x
+//	subject to A x (<=|=|>=) b,  lo <= x <= hi
+//
+// built incrementally with AddVar and AddConstraint.
+type Problem struct {
+	obj     []float64
+	lo, hi  []float64
+	integer []bool
+	cons    []constraint
+	names   []string
+}
+
+// NewProblem returns an empty minimization problem.
+func NewProblem() *Problem { return &Problem{} }
+
+// NumVars returns the number of variables added so far.
+func (p *Problem) NumVars() int { return len(p.obj) }
+
+// NumConstraints returns the number of constraint rows.
+func (p *Problem) NumConstraints() int { return len(p.cons) }
+
+// AddVar adds a continuous variable with objective coefficient obj and
+// bounds [lo, hi], returning its index. Use -Inf/+Inf for free bounds.
+func (p *Problem) AddVar(name string, obj, lo, hi float64) int {
+	if lo > hi {
+		panic(fmt.Sprintf("lp: variable %q has lo %v > hi %v", name, lo, hi))
+	}
+	p.obj = append(p.obj, obj)
+	p.lo = append(p.lo, lo)
+	p.hi = append(p.hi, hi)
+	p.integer = append(p.integer, false)
+	p.names = append(p.names, name)
+	return len(p.obj) - 1
+}
+
+// AddIntVar adds an integer variable (only honored by SolveILP; Solve treats
+// it as continuous).
+func (p *Problem) AddIntVar(name string, obj, lo, hi float64) int {
+	v := p.AddVar(name, obj, lo, hi)
+	p.integer[v] = true
+	return v
+}
+
+// SetObj overwrites the objective coefficient of variable v.
+func (p *Problem) SetObj(v int, c float64) { p.obj[v] = c }
+
+// AddConstraint adds the row sum(coefs) sense rhs. Coefficients referencing
+// the same variable twice are summed.
+func (p *Problem) AddConstraint(sense Sense, rhs float64, coefs ...Coef) int {
+	for _, c := range coefs {
+		if c.Var < 0 || c.Var >= len(p.obj) {
+			panic(fmt.Sprintf("lp: constraint references unknown variable %d", c.Var))
+		}
+	}
+	p.cons = append(p.cons, constraint{coefs: coefs, sense: sense, rhs: rhs})
+	return len(p.cons) - 1
+}
+
+// Status reports the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+	IterLimit
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterLimit:
+		return "iteration-limit"
+	}
+	return "unknown"
+}
+
+// Solution is the result of an LP solve.
+type Solution struct {
+	Status Status
+	Obj    float64
+	X      []float64 // structural variable values
+	Duals  []float64 // one dual multiplier per constraint row
+	Iters  int
+}
+
+// ErrBadProblem is returned for structurally invalid problems.
+var ErrBadProblem = errors.New("lp: invalid problem")
+
+// Solve solves the LP relaxation with the two-phase revised simplex.
+func (p *Problem) Solve() (Solution, error) {
+	return p.SolveOpts(Options{})
+}
+
+// Options tunes the simplex.
+type Options struct {
+	MaxIters int     // 0 means automatic (50*(m+n)+10000)
+	Tol      float64 // feasibility/optimality tolerance; 0 means 1e-9
+}
+
+func (o *Options) normalize(m, n int) {
+	if o.Tol <= 0 {
+		o.Tol = 1e-9
+	}
+	if o.MaxIters <= 0 {
+		o.MaxIters = 50*(m+n) + 10000
+	}
+}
+
+// SolveOpts is Solve with explicit options.
+func (p *Problem) SolveOpts(opts Options) (Solution, error) {
+	s, err := newSimplex(p)
+	if err != nil {
+		return Solution{Status: Infeasible}, err
+	}
+	opts.normalize(s.m, s.n)
+	return s.solve(opts)
+}
+
+// Value evaluates the objective at x.
+func (p *Problem) Value(x []float64) float64 {
+	v := 0.0
+	for i, c := range p.obj {
+		v += c * x[i]
+	}
+	return v
+}
+
+// Feasible reports whether x satisfies all constraints and bounds within tol.
+func (p *Problem) Feasible(x []float64, tol float64) error {
+	if len(x) != len(p.obj) {
+		return fmt.Errorf("%w: x has %d entries, want %d", ErrBadProblem, len(x), len(p.obj))
+	}
+	for i := range x {
+		if x[i] < p.lo[i]-tol || x[i] > p.hi[i]+tol {
+			return fmt.Errorf("variable %d=%v outside [%v,%v]", i, x[i], p.lo[i], p.hi[i])
+		}
+	}
+	for i, c := range p.cons {
+		lhs := 0.0
+		for _, cf := range c.coefs {
+			lhs += cf.Val * x[cf.Var]
+		}
+		switch c.sense {
+		case LE:
+			if lhs > c.rhs+tol {
+				return fmt.Errorf("row %d: %v <= %v violated", i, lhs, c.rhs)
+			}
+		case GE:
+			if lhs < c.rhs-tol {
+				return fmt.Errorf("row %d: %v >= %v violated", i, lhs, c.rhs)
+			}
+		case EQ:
+			if math.Abs(lhs-c.rhs) > tol {
+				return fmt.Errorf("row %d: %v = %v violated", i, lhs, c.rhs)
+			}
+		}
+	}
+	return nil
+}

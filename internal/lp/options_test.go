@@ -1,0 +1,89 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestIterLimitStatus(t *testing.T) {
+	// A nontrivial LP with MaxIters=1 cannot reach optimality in one pivot;
+	// the solver must report the limit instead of a wrong optimum claim.
+	rng := rand.New(rand.NewSource(3))
+	p := NewProblem()
+	n := 12
+	vars := make([]int, n)
+	for i := range vars {
+		vars[i] = p.AddVar("", -1-rng.Float64(), 0, 1)
+	}
+	for r := 0; r < 6; r++ {
+		coefs := make([]Coef, n)
+		for i := range coefs {
+			coefs[i] = Coef{vars[i], 0.5 + rng.Float64()}
+		}
+		p.AddConstraint(LE, 2, coefs...)
+	}
+	sol, err := p.SolveOpts(Options{MaxIters: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != IterLimit {
+		t.Fatalf("status = %v, want iteration-limit", sol.Status)
+	}
+	// With a sane budget the same problem solves.
+	sol, err = p.Solve()
+	if err != nil || sol.Status != Optimal {
+		t.Fatalf("full solve: %v %v", sol.Status, err)
+	}
+}
+
+func TestOptionsNormalization(t *testing.T) {
+	o := Options{}
+	o.normalize(10, 20)
+	if o.Tol != 1e-9 {
+		t.Errorf("Tol = %v", o.Tol)
+	}
+	if o.MaxIters != 50*30+10000 {
+		t.Errorf("MaxIters = %v", o.MaxIters)
+	}
+	o2 := Options{Tol: 1e-6, MaxIters: 7}
+	o2.normalize(10, 20)
+	if o2.Tol != 1e-6 || o2.MaxIters != 7 {
+		t.Errorf("explicit options overridden: %+v", o2)
+	}
+}
+
+func TestDualsReturned(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar("x", -1, 0, Inf)
+	p.AddConstraint(LE, 4, Coef{x, 2})
+	sol, err := p.Solve()
+	if err != nil || sol.Status != Optimal {
+		t.Fatal(err)
+	}
+	if len(sol.Duals) != 1 {
+		t.Fatalf("duals = %v", sol.Duals)
+	}
+	// Strong duality on this one-row LP: obj = y * b.
+	if math.Abs(sol.Obj-sol.Duals[0]*4) > 1e-9 {
+		t.Errorf("duality gap: obj %v vs y*b %v", sol.Obj, sol.Duals[0]*4)
+	}
+}
+
+func TestAddVarPanicsOnBadBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewProblem().AddVar("bad", 0, 2, 1)
+}
+
+func TestAddConstraintPanicsOnUnknownVar(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewProblem().AddConstraint(LE, 1, Coef{Var: 5, Val: 1})
+}

@@ -1,0 +1,243 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// ParseBench reads a circuit in the ISCAS89 .bench format:
+//
+//	# comment
+//	INPUT(G0)
+//	OUTPUT(G17)
+//	G5 = DFF(G10)
+//	G10 = NAND(G0, G5)
+//
+// Every signal name becomes a net; every assignment becomes a cell driving
+// that net. DFF cells become flip-flops, everything else becomes a gate.
+// Cell footprints are left zero; callers size cells for placement.
+func ParseBench(name string, r io.Reader) (*Circuit, error) {
+	c := New(name)
+
+	type assign struct {
+		out  string
+		fn   Func
+		args []string
+		line int
+	}
+	var (
+		inputs  []string
+		outputs []string
+		assigns []assign
+	)
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(strings.ToUpper(line), "INPUT("):
+			arg, err := parenArg(line)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: %v", name, lineno, err)
+			}
+			inputs = append(inputs, arg)
+		case strings.HasPrefix(strings.ToUpper(line), "OUTPUT("):
+			arg, err := parenArg(line)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: %v", name, lineno, err)
+			}
+			outputs = append(outputs, arg)
+		default:
+			eq := strings.Index(line, "=")
+			if eq < 0 {
+				return nil, fmt.Errorf("%s:%d: unrecognized line %q", name, lineno, line)
+			}
+			out := strings.TrimSpace(line[:eq])
+			rhs := strings.TrimSpace(line[eq+1:])
+			open := strings.Index(rhs, "(")
+			close := strings.LastIndex(rhs, ")")
+			if open < 0 || close < open {
+				return nil, fmt.Errorf("%s:%d: malformed gate %q", name, lineno, line)
+			}
+			fn, err := parseFunc(strings.TrimSpace(rhs[:open]))
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: %v", name, lineno, err)
+			}
+			var args []string
+			for _, a := range strings.Split(rhs[open+1:close], ",") {
+				a = strings.TrimSpace(a)
+				if a == "" {
+					return nil, fmt.Errorf("%s:%d: empty argument in %q", name, lineno, line)
+				}
+				args = append(args, a)
+			}
+			if len(args) == 0 {
+				return nil, fmt.Errorf("%s:%d: gate %q has no inputs", name, lineno, out)
+			}
+			if fn == FuncDFF && len(args) != 1 {
+				return nil, fmt.Errorf("%s:%d: DFF %q must have exactly one input", name, lineno, out)
+			}
+			assigns = append(assigns, assign{out: out, fn: fn, args: args, line: lineno})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	// Create one cell per signal producer (input pad or gate/FF) and one
+	// net per produced signal.
+	producer := map[string]*Cell{} // signal name -> producing cell
+	for _, in := range inputs {
+		if producer[in] != nil {
+			return nil, fmt.Errorf("%s: duplicate definition of signal %q", name, in)
+		}
+		producer[in] = c.AddCell(&Cell{Name: in, Kind: Input, Fixed: true})
+	}
+	for _, a := range assigns {
+		if producer[a.out] != nil {
+			return nil, fmt.Errorf("%s:%d: duplicate definition of signal %q", name, a.line, a.out)
+		}
+		kind := Gate
+		if a.fn == FuncDFF {
+			kind = FF
+		}
+		producer[a.out] = c.AddCell(&Cell{Name: a.out, Kind: kind, Fn: a.fn})
+	}
+	// One pad per OUTPUT declaration; the same signal may be declared more
+	// than once (several pads observing one net), so pads are positional.
+	outPadCells := make([]*Cell, len(outputs))
+	for i, out := range outputs {
+		outPadCells[i] = c.AddCell(&Cell{Name: fmt.Sprintf("%s_pad%d", out, i), Kind: Output, Fixed: true})
+	}
+
+	// Build nets: pins are (driver, consumers...).
+	consumers := map[string][]int{}
+	for _, a := range assigns {
+		sink := producer[a.out]
+		for _, arg := range a.args {
+			consumers[arg] = append(consumers[arg], sink.ID)
+		}
+	}
+	for i, out := range outputs {
+		consumers[out] = append(consumers[out], outPadCells[i].ID)
+	}
+	// Deterministic net order: inputs first, then assigns, matching cell
+	// creation order.
+	addNet := func(sig string) error {
+		drv, ok := producer[sig]
+		if !ok {
+			return fmt.Errorf("%s: signal %q consumed but never produced", name, sig)
+		}
+		pins := append([]int{drv.ID}, consumers[sig]...)
+		c.AddNet(sig, pins...)
+		return nil
+	}
+	for _, in := range inputs {
+		if err := addNet(in); err != nil {
+			return nil, err
+		}
+	}
+	for _, a := range assigns {
+		if err := addNet(a.out); err != nil {
+			return nil, err
+		}
+	}
+	// Verify every consumed signal was produced.
+	sigs := make([]string, 0, len(consumers))
+	for sig := range consumers {
+		sigs = append(sigs, sig)
+	}
+	sort.Strings(sigs)
+	for _, sig := range sigs {
+		if producer[sig] == nil {
+			return nil, fmt.Errorf("%s: signal %q consumed but never produced", name, sig)
+		}
+	}
+	return c, nil
+}
+
+func parenArg(line string) (string, error) {
+	open := strings.Index(line, "(")
+	close := strings.LastIndex(line, ")")
+	if open < 0 || close < open {
+		return "", fmt.Errorf("malformed declaration %q", line)
+	}
+	arg := strings.TrimSpace(line[open+1 : close])
+	if arg == "" {
+		return "", fmt.Errorf("empty declaration %q", line)
+	}
+	return arg, nil
+}
+
+func parseFunc(s string) (Func, error) {
+	switch strings.ToUpper(s) {
+	case "BUF", "BUFF":
+		return FuncBuf, nil
+	case "NOT", "INV":
+		return FuncNot, nil
+	case "AND":
+		return FuncAnd, nil
+	case "NAND":
+		return FuncNand, nil
+	case "OR":
+		return FuncOr, nil
+	case "NOR":
+		return FuncNor, nil
+	case "XOR":
+		return FuncXor, nil
+	case "XNOR":
+		return FuncXnor, nil
+	case "DFF":
+		return FuncDFF, nil
+	}
+	return FuncNone, fmt.Errorf("unknown gate function %q", s)
+}
+
+// WriteBench writes the circuit in .bench format. Only the logical netlist
+// is written; placement is not part of the format.
+func WriteBench(w io.Writer, c *Circuit) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s: %d cells, %d nets\n", c.Name, len(c.Cells), len(c.Nets))
+	for _, cell := range c.Cells {
+		if cell.Kind == Input && cell.Fanout >= 0 {
+			// Declare the *net* name: that is the signal consumers reference.
+			fmt.Fprintf(bw, "INPUT(%s)\n", c.Nets[cell.Fanout].Name)
+		}
+	}
+	for _, cell := range c.Cells {
+		if cell.Kind == Output {
+			if len(cell.Fanin) != 1 {
+				return fmt.Errorf("output pad %q has %d fanins, want 1", cell.Name, len(cell.Fanin))
+			}
+			sig := c.Nets[cell.Fanin[0]].Name
+			fmt.Fprintf(bw, "OUTPUT(%s)\n", sig)
+		}
+	}
+	for _, cell := range c.Cells {
+		if cell.Kind != Gate && cell.Kind != FF {
+			continue
+		}
+		if cell.Fanout < 0 {
+			return fmt.Errorf("cell %q drives no net", cell.Name)
+		}
+		args := make([]string, len(cell.Fanin))
+		for i, nid := range cell.Fanin {
+			args[i] = c.Nets[nid].Name
+		}
+		fn := cell.Fn
+		if fn == FuncNone {
+			fn = FuncBuf
+		}
+		fmt.Fprintf(bw, "%s = %s(%s)\n", c.Nets[cell.Fanout].Name, fn, strings.Join(args, ", "))
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,421 @@
+package netlist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"rotaryclk/internal/geom"
+)
+
+// GenSpec parameterizes the synthetic sequential-circuit generator. The
+// generator reproduces the statistical profile of the ISCAS89 circuits used
+// in the paper (cell/flip-flop/net counts, bounded logic depth, mostly
+// 2-input gates with a locality-biased fanout distribution) so that the
+// placement and skew optimization algorithms see workloads of the same shape
+// without requiring the original benchmark files.
+type GenSpec struct {
+	Name      string
+	Cells     int // logic gates + flip-flops (Table II "#Cells")
+	FlipFlops int
+	Inputs    int // primary inputs; default max(8, FlipFlops/8)
+	Outputs   int // primary outputs; default max(8, FlipFlops/8)
+	MaxDepth  int // max combinational levels between flip-flops; default 8
+	// Modules is the number of locality clusters. Real synthesized circuits
+	// are modular: most fanin comes from the same functional block, which
+	// is what lets a placer find short nets. Default cells/64 (min 1).
+	Modules int
+	// Locality is the probability a gate picks its fanin inside its own
+	// module (default 0.9); cross-module fanin prefers neighboring modules,
+	// mimicking the pipelined block structure of real designs.
+	Locality float64
+	Seed     int64
+	Die      geom.Rect // placement region; default square sized for Cells
+	Util     float64   // placement row utilization; default 0.7
+}
+
+func (s *GenSpec) applyDefaults() error {
+	if s.Cells <= 0 {
+		return fmt.Errorf("netlist: GenSpec.Cells must be positive, got %d", s.Cells)
+	}
+	if s.FlipFlops < 0 || s.FlipFlops >= s.Cells {
+		return fmt.Errorf("netlist: GenSpec.FlipFlops=%d out of range for %d cells", s.FlipFlops, s.Cells)
+	}
+	if s.Inputs <= 0 {
+		s.Inputs = max(8, s.FlipFlops/8)
+	}
+	if s.Outputs <= 0 {
+		s.Outputs = max(8, s.FlipFlops/8)
+	}
+	if s.MaxDepth <= 0 {
+		s.MaxDepth = 8
+	}
+	if s.Util <= 0 || s.Util > 1 {
+		s.Util = 0.7
+	}
+	if s.Modules <= 0 {
+		s.Modules = max(1, s.Cells/40)
+	}
+	if s.Locality <= 0 || s.Locality > 1 {
+		s.Locality = 0.9
+	}
+	if s.Die.Area() <= 0 {
+		// Die side chosen so that average net lengths land in the hundreds
+		// of micrometers, the regime of the paper's Table III.
+		side := 55 * math.Sqrt(float64(s.Cells))
+		s.Die = geom.NewRect(geom.Pt(0, 0), geom.Pt(side, side))
+	}
+	return nil
+}
+
+// Generate builds a synthetic sequential circuit per spec. The result is
+// deterministic for a given spec (including Seed). Cells are sized uniformly
+// to hit spec.Util row utilization; pads are fixed on the die boundary and
+// movable cells are scattered uniformly as a starting point for placement.
+func Generate(spec GenSpec) (*Circuit, error) {
+	if err := spec.applyDefaults(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	c := New(spec.Name)
+	c.Die = spec.Die
+
+	gates := spec.Cells - spec.FlipFlops
+
+	// Cell creation order doubles as a topological order for gates: gate i
+	// may consume only signals produced by pads, flip-flops, or gates with
+	// smaller ID. Flip-flop Q outputs are level-0 sources like pads.
+	for i := 0; i < spec.Inputs; i++ {
+		c.AddCell(&Cell{Name: fmt.Sprintf("pi%d", i), Kind: Input, Fixed: true})
+	}
+	for i := 0; i < spec.FlipFlops; i++ {
+		c.AddCell(&Cell{Name: fmt.Sprintf("ff%d", i), Kind: FF, Fn: FuncDFF})
+	}
+	gateFns := []Func{FuncNand, FuncNand, FuncNor, FuncAnd, FuncOr, FuncNot, FuncXor, FuncBuf}
+	firstGate := len(c.Cells)
+	for i := 0; i < gates; i++ {
+		fn := gateFns[rng.Intn(len(gateFns))]
+		c.AddCell(&Cell{Name: fmt.Sprintf("g%d", i), Kind: Gate, Fn: fn})
+	}
+	for i := 0; i < spec.Outputs; i++ {
+		c.AddCell(&Cell{Name: fmt.Sprintf("po%d", i), Kind: Output, Fixed: true})
+	}
+
+	// Locality structure: cells belong to modules; most fanin stays inside
+	// the module. sources[m][k] lists cell IDs of module m whose outputs are
+	// available at level k (level 0: pads + FF outputs).
+	nMod := spec.Modules
+	level := make([]int, len(c.Cells))
+	module := make([]int, len(c.Cells))
+	sources := make([][][]int, nMod)
+	for m := range sources {
+		sources[m] = make([][]int, spec.MaxDepth+1)
+	}
+	// Distribute level-0 sources (PIs and FFs) round-robin over modules.
+	l0 := 0
+	for id := 0; id < firstGate; id++ {
+		if c.Cells[id].Kind == Input || c.Cells[id].Kind == FF {
+			m := l0 % nMod
+			module[id] = m
+			sources[m][0] = append(sources[m][0], id)
+			l0++
+		}
+	}
+	// Consumers per producing cell; filled as gates pick fanins.
+	consumers := make(map[int][]int, len(c.Cells))
+
+	pickLevel := func(lvl int) int {
+		switch r := rng.Float64(); {
+		case r < 0.55 || lvl == 1:
+			return lvl - 1
+		case r < 0.80:
+			return rng.Intn(lvl) // uniform over lower levels
+		default:
+			return 0
+		}
+	}
+	pickFanin := func(gid, lvl, mod int) int {
+		for tries := 0; ; tries++ {
+			l := pickLevel(lvl)
+			m := mod
+			if rng.Float64() > spec.Locality {
+				// Cross-module net: mostly a neighboring block, sometimes
+				// anywhere (global control signals).
+				if rng.Float64() < 0.7 {
+					m = (mod + 1 + rng.Intn(2)*(nMod-2)) % nMod // mod+-1 on the ring
+				} else {
+					m = rng.Intn(nMod)
+				}
+			}
+			cand := sources[m][l]
+			if len(cand) == 0 {
+				cand = sources[m][0]
+			}
+			if len(cand) == 0 {
+				cand = sources[mod][0]
+			}
+			if len(cand) == 0 {
+				// Some module with level-0 sources always exists.
+				for mm := 0; mm < nMod; mm++ {
+					if len(sources[mm][0]) > 0 {
+						cand = sources[mm][0]
+						break
+					}
+				}
+			}
+			id := cand[rng.Intn(len(cand))]
+			if id != gid || tries > 4 {
+				return id
+			}
+		}
+	}
+
+	for i := 0; i < gates; i++ {
+		gid := firstGate + i
+		// Contiguous gate ranges form modules; levels cycle within each
+		// module so every module spans the full logic depth.
+		mod := i * nMod / max(1, gates)
+		if mod >= nMod {
+			mod = nMod - 1
+		}
+		lvl := 1 + (i*31)%spec.MaxDepth // cycle through levels deterministically
+		module[gid] = mod
+		level[gid] = lvl
+		sources[mod][lvl] = append(sources[mod][lvl], gid)
+		nin := 2
+		switch r := rng.Float64(); {
+		case c.Cells[gid].Fn == FuncNot || c.Cells[gid].Fn == FuncBuf:
+			nin = 1
+		case r < 0.15:
+			nin = 3
+		case r < 0.20:
+			nin = 4
+		}
+		seen := map[int]bool{}
+		for k := 0; k < nin; k++ {
+			src := pickFanin(gid, lvl, mod)
+			if seen[src] {
+				continue
+			}
+			seen[src] = true
+			consumers[src] = append(consumers[src], gid)
+		}
+	}
+
+	// Flip-flop D inputs: each FF consumes one gate output from its own
+	// module where possible, preferring the deepest levels so that FF-to-FF
+	// paths exercise the full logic depth.
+	gateAtOrAbove := func(mod, minLvl int) int {
+		for l := spec.MaxDepth; l >= minLvl; l-- {
+			if l > 0 && len(sources[mod][l]) > 0 {
+				return sources[mod][l][rng.Intn(len(sources[mod][l]))]
+			}
+		}
+		return -1
+	}
+	anyGateAtOrAbove := func(minLvl int) int {
+		for off := 0; off < nMod; off++ {
+			m := rng.Intn(nMod)
+			if g := gateAtOrAbove(m, minLvl); g >= 0 {
+				return g
+			}
+		}
+		return -1
+	}
+	anyL0 := func() int {
+		for m := 0; m < nMod; m++ {
+			if len(sources[m][0]) > 0 {
+				return sources[m][0][rng.Intn(len(sources[m][0]))]
+			}
+		}
+		return -1
+	}
+	for id := 0; id < firstGate; id++ {
+		if c.Cells[id].Kind != FF {
+			continue
+		}
+		src := gateAtOrAbove(module[id], max(1, spec.MaxDepth/2))
+		if src < 0 {
+			src = anyGateAtOrAbove(max(1, spec.MaxDepth/2))
+		}
+		if src < 0 {
+			src = anyL0()
+			if src == id { // tiny circuits: avoid self-loop through D
+				src = sources[module[id]][0][0]
+			}
+		}
+		consumers[src] = append(consumers[src], id)
+	}
+
+	// Output pads consume random gate outputs. Extra pads are minted for
+	// dangling nets below so every pad observes exactly one signal (the
+	// .bench format's OUTPUT() declarations are one signal each).
+	firstPad := firstGate + gates
+	extraPads := 0
+	newOutPad := func() int {
+		cell := c.AddCell(&Cell{Name: fmt.Sprintf("pox%d", extraPads), Kind: Output, Fixed: true})
+		extraPads++
+		return cell.ID
+	}
+	for i := 0; i < spec.Outputs; i++ {
+		src := anyGateAtOrAbove(1)
+		if src < 0 {
+			src = anyL0()
+		}
+		consumers[src] = append(consumers[src], firstPad+i)
+	}
+
+	// Dangling gate outputs get attached to a later gate, or to an output
+	// pad as a last resort, so every net has at least one sink.
+	for gid := firstGate; gid < firstGate+gates; gid++ {
+		if len(consumers[gid]) > 0 {
+			continue
+		}
+		attached := false
+		// Later gates in ID order preserve acyclicity.
+		for tries := 0; tries < 8 && gid+1 < firstGate+gates; tries++ {
+			j := gid + 1 + rng.Intn(firstGate+gates-gid-1)
+			// Strictly deeper level keeps the worst-case logic depth at
+			// MaxDepth (same-level chains would exceed it).
+			if level[j] > level[gid] {
+				consumers[gid] = append(consumers[gid], j)
+				attached = true
+				break
+			}
+		}
+		if !attached {
+			consumers[gid] = append(consumers[gid], newOutPad())
+		}
+	}
+
+	// Materialize nets in producer-ID order (deterministic).
+	for id := 0; id < firstPad; id++ {
+		cell := c.Cells[id]
+		if cell.Kind == Output {
+			continue
+		}
+		sinks := consumers[id]
+		if len(sinks) == 0 && (cell.Kind == Input || cell.Kind == FF) {
+			// Unused PI or flip-flop output: give it a token pad load so it
+			// is a legal net.
+			sinks = []int{newOutPad()}
+		}
+		pins := append([]int{id}, sinks...)
+		c.AddNet(cell.Name+"_n", pins...)
+	}
+
+	sizeAndScatter(c, spec.Util, rng)
+	return c, nil
+}
+
+// sizeAndScatter assigns uniform cell footprints hitting the target
+// utilization, pins pads to the die boundary, and scatters movable cells
+// uniformly over the die as an initial placement.
+func sizeAndScatter(c *Circuit, util float64, rng *rand.Rand) {
+	movable := c.NumMovable()
+	if movable == 0 {
+		return
+	}
+	area := c.Die.Area() * util / float64(movable)
+	side := math.Sqrt(area)
+	for _, cell := range c.Cells {
+		if cell.Fixed {
+			continue
+		}
+		cell.W, cell.H = side, side
+	}
+	PlacePadsOnBoundary(c)
+	for _, cell := range c.Cells {
+		if cell.Fixed {
+			continue
+		}
+		cell.Pos = geom.Pt(
+			c.Die.Lo.X+rng.Float64()*c.Die.W(),
+			c.Die.Lo.Y+rng.Float64()*c.Die.H(),
+		)
+	}
+}
+
+// PlacePadsOnBoundary distributes the fixed pads evenly around the die
+// perimeter, clockwise from the lower-left corner.
+func PlacePadsOnBoundary(c *Circuit) {
+	var pads []*Cell
+	for _, cell := range c.Cells {
+		if cell.Fixed {
+			pads = append(pads, cell)
+		}
+	}
+	if len(pads) == 0 {
+		return
+	}
+	per := 2 * (c.Die.W() + c.Die.H())
+	for i, pad := range pads {
+		d := per * float64(i) / float64(len(pads))
+		pad.Pos = perimeterPoint(c.Die, d)
+	}
+}
+
+// perimeterPoint returns the point at arclength d along the die boundary,
+// starting at the lower-left corner and proceeding counterclockwise.
+func perimeterPoint(die geom.Rect, d float64) geom.Point {
+	w, h := die.W(), die.H()
+	per := 2 * (w + h)
+	d = math.Mod(d, per)
+	if d < 0 {
+		d += per
+	}
+	switch {
+	case d < w:
+		return geom.Pt(die.Lo.X+d, die.Lo.Y)
+	case d < w+h:
+		return geom.Pt(die.Hi.X, die.Lo.Y+(d-w))
+	case d < 2*w+h:
+		return geom.Pt(die.Hi.X-(d-w-h), die.Hi.Y)
+	default:
+		return geom.Pt(die.Lo.X, die.Hi.Y-(d-2*w-h))
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// SizePhysical equips a circuit parsed from a purely logical format (such as
+// .bench) with physical data: a die sized by the generator's conventions,
+// uniform cell footprints at the given utilization (0 = default), pads on
+// the boundary, and a deterministic coarse-grid seed placement for the
+// movable cells.
+func SizePhysical(c *Circuit, util float64) error {
+	if util <= 0 || util > 1 {
+		util = 0.7
+	}
+	st := c.Stats()
+	if st.Cells == 0 {
+		return fmt.Errorf("netlist: circuit %q has no cells to size", c.Name)
+	}
+	side := 55 * math.Sqrt(float64(st.Cells))
+	c.Die = geom.NewRect(geom.Pt(0, 0), geom.Pt(side, side))
+	movable := c.NumMovable()
+	if movable == 0 {
+		return fmt.Errorf("netlist: circuit %q has no movable cells", c.Name)
+	}
+	cellSide := math.Sqrt(c.Die.Area() * util / float64(movable))
+	grid := int(math.Ceil(math.Sqrt(float64(movable)))) + 1
+	i := 0
+	for _, cell := range c.Cells {
+		if cell.Fixed {
+			continue
+		}
+		cell.W, cell.H = cellSide, cellSide
+		cell.Pos = geom.Pt(
+			c.Die.Lo.X+(float64(i%grid)+0.5)*c.Die.W()/float64(grid),
+			c.Die.Lo.Y+(float64((i/grid)%grid)+0.5)*c.Die.H()/float64(grid),
+		)
+		i++
+	}
+	PlacePadsOnBoundary(c)
+	return nil
+}

@@ -1,0 +1,136 @@
+package placer
+
+import (
+	"sort"
+
+	"rotaryclk/internal/netlist"
+)
+
+// Detailed runs detailed placement on a legalized circuit: passes of
+// same-size cell swaps that reduce half-perimeter wirelength, considering
+// for each cell a window of its nearest legal positions (the classic greedy
+// swap refinement run after legalization). Positions stay legal because only
+// coordinates of equal-footprint cells are exchanged.
+//
+// It returns the total HPWL improvement achieved (>= 0). Passes stop early
+// when a full sweep finds no improving swap.
+func Detailed(c *netlist.Circuit, passes int) (float64, error) {
+	return DetailedExcluding(c, passes, nil)
+}
+
+// DetailedExcluding is Detailed with a set of cell IDs pinned in place —
+// the flow uses it inside the pseudo-net loop to recover signal wirelength
+// without moving the flip-flops off their freshly assigned tapping points.
+func DetailedExcluding(c *netlist.Circuit, passes int, exclude []int) (float64, error) {
+	if err := validate(c); err != nil {
+		return 0, err
+	}
+	if passes <= 0 {
+		passes = 3
+	}
+	excluded := make(map[int]bool, len(exclude))
+	for _, id := range exclude {
+		excluded[id] = true
+	}
+	// Precompute, per movable cell, the nets it pins.
+	type cellNets struct {
+		id   int
+		nets []int
+	}
+	var cells []cellNets
+	cellPos := map[int]int{} // cell ID -> index in cells
+	for _, cell := range c.Cells {
+		if cell.Fixed || cell.W <= 0 || excluded[cell.ID] {
+			continue
+		}
+		cellPos[cell.ID] = len(cells)
+		cells = append(cells, cellNets{id: cell.ID})
+	}
+	if len(cells) < 2 {
+		return 0, nil
+	}
+	for _, n := range c.Nets {
+		if len(n.Pins) < 2 {
+			continue
+		}
+		for _, id := range n.Pins {
+			if k, ok := cellPos[id]; ok {
+				cells[k].nets = append(cells[k].nets, n.ID)
+			}
+		}
+	}
+
+	// netHPWL of the subset of nets, at current positions.
+	netsWL := func(nets []int) float64 {
+		wl := 0.0
+		for _, nid := range nets {
+			wl += c.NetHPWL(c.Nets[nid])
+		}
+		return wl
+	}
+	// union of two cells' nets without duplicates (both small).
+	union := func(a, b []int) []int {
+		out := append([]int(nil), a...)
+		for _, n := range b {
+			dup := false
+			for _, m := range a {
+				if m == n {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				out = append(out, n)
+			}
+		}
+		return out
+	}
+
+	total := 0.0
+	order := make([]int, len(cells))
+	for i := range order {
+		order[i] = i
+	}
+	for pass := 0; pass < passes; pass++ {
+		// Deterministic sweep in x-major order of current positions.
+		sort.SliceStable(order, func(a, b int) bool {
+			pa := c.Cells[cells[order[a]].id].Pos
+			pb := c.Cells[cells[order[b]].id].Pos
+			if pa.X != pb.X {
+				return pa.X < pb.X
+			}
+			if pa.Y != pb.Y {
+				return pa.Y < pb.Y
+			}
+			return cells[order[a]].id < cells[order[b]].id
+		})
+		improved := 0.0
+		for oi := 0; oi < len(order); oi++ {
+			i := order[oi]
+			ci := c.Cells[cells[i].id]
+			// Candidate partners: the next few cells in sweep order (their
+			// positions neighbor ci's after sorting).
+			for w := 1; w <= 6 && oi+w < len(order); w++ {
+				j := order[oi+w]
+				cj := c.Cells[cells[j].id]
+				if ci.W != cj.W || ci.H != cj.H {
+					continue // swap would break legality
+				}
+				nets := union(cells[i].nets, cells[j].nets)
+				before := netsWL(nets)
+				ci.Pos, cj.Pos = cj.Pos, ci.Pos
+				after := netsWL(nets)
+				if after < before-1e-9 {
+					improved += before - after
+				} else {
+					ci.Pos, cj.Pos = cj.Pos, ci.Pos // revert
+				}
+			}
+		}
+		total += improved
+		if improved < 1e-9 {
+			break
+		}
+	}
+	return total, nil
+}

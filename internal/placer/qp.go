@@ -1,0 +1,298 @@
+// Package placer is the analytical placement substrate of the flow: a
+// star-model quadratic placer solved by preconditioned conjugate gradients,
+// a density-equalization spreading loop, a Tetris-style row legalizer, and a
+// stable incremental mode driven by pseudo-nets.
+//
+// It stands in for the mPL placer the paper uses: the integrated methodology
+// (Fig. 3) only needs a global placer that minimizes quadratic wirelength,
+// accepts pseudo-nets pulling flip-flops toward their rotary rings, and is
+// stable under small netlist perturbations — all of which this package
+// provides.
+package placer
+
+import (
+	"fmt"
+	"math"
+
+	"rotaryclk/internal/geom"
+	"rotaryclk/internal/netlist"
+)
+
+// PseudoNet pulls one cell toward a fixed target point with the given
+// weight. The flow inserts one per flip-flop, anchored at its assigned
+// ring's tapping point (Section IV stage 5).
+type PseudoNet struct {
+	Cell   int
+	Target geom.Point
+	Weight float64
+}
+
+// Options tunes the placer.
+type Options struct {
+	// SpreadIters is the number of density-equalization + re-solve rounds
+	// of global placement (default 6).
+	SpreadIters int
+	// Bins is the spreading grid resolution per axis (default derived from
+	// the movable cell count).
+	Bins int
+	// PseudoNets are the flip-flop anchor nets.
+	PseudoNets []PseudoNet
+	// AnchorWeight, when positive, adds a stability anchor from every
+	// movable cell to its current position (incremental placement).
+	AnchorWeight float64
+	// SpreadAlpha scales the spreading anchor weight per iteration
+	// (default 0.05; larger converges faster but hurts wirelength).
+	SpreadAlpha float64
+	// CGTol and CGMaxIter control the linear solver (defaults 1e-6, 600).
+	CGTol     float64
+	CGMaxIter int
+}
+
+func (o *Options) normalize(movable int) {
+	if o.SpreadIters <= 0 {
+		o.SpreadIters = 24
+	}
+	if o.SpreadAlpha <= 0 {
+		o.SpreadAlpha = 0.05
+	}
+	if o.Bins <= 0 {
+		o.Bins = int(math.Max(4, math.Sqrt(float64(movable)/4)))
+	}
+	if o.CGTol <= 0 {
+		o.CGTol = 1e-6
+	}
+	if o.CGMaxIter <= 0 {
+		o.CGMaxIter = 600
+	}
+}
+
+// system is the sparse SPD system of one quadratic placement solve. The x
+// and y dimensions share the structure but have separate right-hand sides.
+type system struct {
+	n     int
+	diag  []float64
+	nbr   [][]int32
+	nbrW  [][]float64
+	bx    []float64
+	by    []float64
+	posX  []float64
+	posY  []float64
+	cells []int // unknown index -> cell ID (star nodes: -1)
+}
+
+func (s *system) addEdge(i, j int, w float64) {
+	s.diag[i] += w
+	s.diag[j] += w
+	s.nbr[i] = append(s.nbr[i], int32(j))
+	s.nbrW[i] = append(s.nbrW[i], w)
+	s.nbr[j] = append(s.nbr[j], int32(i))
+	s.nbrW[j] = append(s.nbrW[j], w)
+}
+
+func (s *system) addAnchor(i int, p geom.Point, w float64) {
+	s.diag[i] += w
+	s.bx[i] += w * p.X
+	s.by[i] += w * p.Y
+}
+
+// buildSystem assembles the star-model quadratic system for the circuit.
+// Movable cells come first, then one star node per net with 3+ pins.
+func buildSystem(c *netlist.Circuit, opt *Options) (*system, map[int]int) {
+	idx := map[int]int{} // cell ID -> unknown index
+	var cells []int
+	for _, cell := range c.Cells {
+		if !cell.Fixed {
+			idx[cell.ID] = len(cells)
+			cells = append(cells, cell.ID)
+		}
+	}
+	nMov := len(cells)
+	// Count star nodes.
+	nStar := 0
+	for _, n := range c.Nets {
+		if len(n.Pins) >= 3 {
+			nStar++
+		}
+	}
+	n := nMov + nStar
+	s := &system{
+		n:     n,
+		diag:  make([]float64, n),
+		nbr:   make([][]int32, n),
+		nbrW:  make([][]float64, n),
+		bx:    make([]float64, n),
+		by:    make([]float64, n),
+		posX:  make([]float64, n),
+		posY:  make([]float64, n),
+		cells: make([]int, n),
+	}
+	for i := range s.cells {
+		s.cells[i] = -1
+	}
+	for i, id := range cells {
+		s.cells[i] = id
+		s.posX[i] = c.Cells[id].Pos.X
+		s.posY[i] = c.Cells[id].Pos.Y
+	}
+
+	star := nMov
+	for _, net := range c.Nets {
+		k := len(net.Pins)
+		if k < 2 {
+			continue
+		}
+		if k == 2 {
+			a, b := net.Pins[0], net.Pins[1]
+			ia, aOK := idx[a]
+			ib, bOK := idx[b]
+			switch {
+			case aOK && bOK:
+				s.addEdge(ia, ib, 1)
+			case aOK:
+				s.addAnchor(ia, c.Cells[b].Pos, 1)
+			case bOK:
+				s.addAnchor(ib, c.Cells[a].Pos, 1)
+			}
+			continue
+		}
+		// Star: every pin connects to the star node with weight k/(k-1),
+		// seeded at the pins' centroid.
+		w := float64(k) / float64(k-1) / 2
+		var cx, cy float64
+		for _, pid := range net.Pins {
+			cx += c.Cells[pid].Pos.X
+			cy += c.Cells[pid].Pos.Y
+		}
+		s.posX[star] = cx / float64(k)
+		s.posY[star] = cy / float64(k)
+		for _, pid := range net.Pins {
+			if ip, ok := idx[pid]; ok {
+				s.addEdge(ip, star, w)
+			} else {
+				s.addAnchor(star, c.Cells[pid].Pos, w)
+			}
+		}
+		star++
+	}
+
+	// Pseudo-nets and stability anchors.
+	for _, pn := range opt.PseudoNets {
+		if i, ok := idx[pn.Cell]; ok && pn.Weight > 0 {
+			s.addAnchor(i, pn.Target, pn.Weight)
+		}
+	}
+	if opt.AnchorWeight > 0 {
+		for i, id := range cells {
+			s.addAnchor(i, c.Cells[id].Pos, opt.AnchorWeight)
+		}
+	}
+	// Regularize fully disconnected unknowns toward the die center so the
+	// system stays positive definite.
+	center := c.Die.Center()
+	for i := 0; i < n; i++ {
+		if s.diag[i] == 0 {
+			s.addAnchor(i, center, 1e-3)
+		}
+	}
+	return s, idx
+}
+
+// solve runs Jacobi-preconditioned CG for both dimensions, starting from the
+// current positions, and leaves the solutions in posX/posY.
+func (s *system) solve(tol float64, maxIter int) {
+	s.cg(s.posX, s.bx, tol, maxIter)
+	s.cg(s.posY, s.by, tol, maxIter)
+}
+
+// mulvec computes out = A*v for the Laplacian-plus-diagonal system.
+func (s *system) mulvec(v, out []float64) {
+	for i := 0; i < s.n; i++ {
+		acc := s.diag[i] * v[i]
+		nb := s.nbr[i]
+		wv := s.nbrW[i]
+		for k, j := range nb {
+			acc -= wv[k] * v[j]
+		}
+		out[i] = acc
+	}
+}
+
+func (s *system) cg(x, b []float64, tol float64, maxIter int) {
+	n := s.n
+	if n == 0 {
+		return
+	}
+	r := make([]float64, n)
+	z := make([]float64, n)
+	p := make([]float64, n)
+	ap := make([]float64, n)
+	s.mulvec(x, r)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	bnorm := 0.0
+	for _, v := range b {
+		bnorm += v * v
+	}
+	bnorm = math.Sqrt(bnorm)
+	if bnorm == 0 {
+		bnorm = 1
+	}
+	var rz float64
+	for i := range r {
+		z[i] = r[i] / s.diag[i]
+		p[i] = z[i]
+		rz += r[i] * z[i]
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		rn := 0.0
+		for _, v := range r {
+			rn += v * v
+		}
+		if math.Sqrt(rn) <= tol*bnorm {
+			return
+		}
+		s.mulvec(p, ap)
+		var pap float64
+		for i := range p {
+			pap += p[i] * ap[i]
+		}
+		if pap <= 0 {
+			return // numerical breakdown; current x is best effort
+		}
+		alpha := rz / pap
+		for i := range x {
+			x[i] += alpha * p[i]
+			r[i] -= alpha * ap[i]
+		}
+		var rzNew float64
+		for i := range r {
+			z[i] = r[i] / s.diag[i]
+			rzNew += r[i] * z[i]
+		}
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+}
+
+// writeBack clamps solved positions into the die and stores them on the
+// circuit's movable cells.
+func (s *system) writeBack(c *netlist.Circuit) {
+	for i, id := range s.cells {
+		if id < 0 {
+			continue
+		}
+		c.Cells[id].Pos = c.Die.Clamp(geom.Pt(s.posX[i], s.posY[i]))
+	}
+}
+
+// validate sanity-checks the circuit for placement.
+func validate(c *netlist.Circuit) error {
+	if c.Die.Area() <= 0 {
+		return fmt.Errorf("placer: circuit %q has an empty die", c.Name)
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := New("title", "name", "value")
+	tb.Row("alpha", 1234.5678)
+	tb.Row("b", "raw")
+	out := tb.String()
+	if !strings.HasPrefix(out, "title\n") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "name") || !strings.Contains(lines[1], "value") {
+		t.Errorf("header wrong: %q", lines[1])
+	}
+	if !strings.Contains(lines[3], "alpha") || !strings.Contains(lines[3], "1235") {
+		t.Errorf("row wrong: %q", lines[3])
+	}
+	// Columns aligned: "value" column starts at the same offset everywhere.
+	col := strings.Index(lines[1], "value")
+	if got := strings.Index(lines[3], "1235"); got != col {
+		t.Errorf("column misaligned: header at %d, row at %d", col, got)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"},
+		{123456, "123456"},
+		{42.25, "42.2"},
+		{3.14159, "3.14"},
+		{0.01234, "0.0123"},
+		{-1234.5, "-1234"}, // %.0f rounds half to even
+	}
+	for _, c := range cases {
+		if got := FormatFloat(c.in); got != c.want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if got := Percent(0.5228); got != "52.28%" {
+		t.Errorf("Percent = %q", got)
+	}
+	if got := Percent(-0.013); got != "-1.30%" {
+		t.Errorf("Percent = %q", got)
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tb := New("", "a")
+	out := tb.String()
+	if strings.HasPrefix(out, "\n") {
+		t.Errorf("empty title should not emit a blank line:\n%q", out)
+	}
+	if !strings.Contains(out, "a") {
+		t.Errorf("missing header: %q", out)
+	}
+}

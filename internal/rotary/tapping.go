@@ -1,0 +1,296 @@
+package rotary
+
+import (
+	"fmt"
+	"math"
+
+	"rotaryclk/internal/geom"
+)
+
+// Tap is the result of solving the flexible-tapping equation (1) for one
+// flip-flop against one ring: the point on the ring to tap, the stub
+// wirelength realizing the delay target, and the polarity of the tapped
+// line.
+type Tap struct {
+	Ring       int        // ring ID
+	Point      geom.Point // tapping point on the loop
+	WireLen    float64    // stub wirelength (um); includes snaking detour
+	Complement bool       // tapped the complementary line (opposite edge FF)
+	Snaked     bool       // Case 4: wire detour was needed
+	Periods    int        // k: number of whole periods absorbed (Case 1)
+	Delay      float64    // realized clock delay at the flip-flop (ps)
+}
+
+// SolveTap finds, over all eight segments of the ring, the minimum-stub
+// tapping point realizing clock-delay target tHat (ps, interpreted modulo
+// the period) at flip-flop location ff. This is the Section III relaxation:
+//
+//	t_f(x) = t0 + rho*x + (1/2) r c l^2 + r l C_ff  =  tHat (mod T)
+//
+// Case 1 (target below the segment's reachable band) shifts the target by
+// whole periods; Cases 2-3 solve the two-parabola equation directly; Case 4
+// (target above the band) taps the segment end and snakes the stub.
+func SolveTap(r *Ring, params Params, ff geom.Point, tHat float64) (Tap, error) {
+	if err := params.Validate(); err != nil {
+		return Tap{}, err
+	}
+	T := params.Period
+	rho := r.Rho(T)
+	best := Tap{WireLen: math.Inf(1)}
+	for _, seg := range r.Segments(T) {
+		tap, ok := solveSegment(seg, rho, params, ff, tHat)
+		if ok && tap.WireLen < best.WireLen {
+			tap.Ring = r.ID
+			best = tap
+		}
+	}
+	if math.IsInf(best.WireLen, 1) {
+		return Tap{}, fmt.Errorf("rotary: no tapping solution on ring %d for target %v", r.ID, tHat)
+	}
+	return best, nil
+}
+
+// SolveTapBuffered is SolveTap with a buffer deployed at the tapping point
+// to drive the flip-flop, as Section III suggests for longer stubs: "(1) can
+// be easily modified to take care of the buffer delay". The buffer delay
+// shifts the realizable delay band uniformly, so the solve reduces to
+// SolveTap against the target minus the buffer delay; the realized Delay
+// reported includes the buffer again.
+func SolveTapBuffered(r *Ring, params Params, ff geom.Point, tHat, bufDelay float64) (Tap, error) {
+	if bufDelay < 0 {
+		return Tap{}, fmt.Errorf("rotary: negative buffer delay %v", bufDelay)
+	}
+	tap, err := SolveTap(r, params, ff, tHat-bufDelay)
+	if err != nil {
+		return Tap{}, err
+	}
+	tap.Delay += bufDelay
+	return tap, nil
+}
+
+// TapCost returns just the stub wirelength of the best tap, the c_{i,j}
+// assignment cost of Section V. It returns +Inf if no solution exists.
+func TapCost(r *Ring, params Params, ff geom.Point, tHat float64) float64 {
+	tap, err := SolveTap(r, params, ff, tHat)
+	if err != nil {
+		return math.Inf(1)
+	}
+	return tap.WireLen
+}
+
+// solveSegment solves equation (1) on a single segment. The segment is
+// parameterized by distance s in [0, b] from Seg.A (the travel-direction
+// start), so the on-ring delay at s is seg.T0 + rho*s.
+func solveSegment(seg TapSegment, rho float64, params Params, ff geom.Point, tHat float64) (Tap, bool) {
+	b := seg.Seg.Length()
+	if b <= 0 {
+		return Tap{}, false
+	}
+	// Decompose the flip-flop position into the coordinate along the
+	// segment axis (sFF, relative to Seg.A, may fall outside [0,b]) and the
+	// perpendicular offset d, so that the Manhattan stub length at tap
+	// position s is l(s) = |s - sFF| + d.
+	ux := (seg.Seg.B.X - seg.Seg.A.X) / b
+	uy := (seg.Seg.B.Y - seg.Seg.A.Y) / b
+	relX, relY := ff.X-seg.Seg.A.X, ff.Y-seg.Seg.A.Y
+	sFF := relX*ux + relY*uy
+	d := math.Abs(relX*(-uy) + relY*ux)
+
+	T := params.Period
+	f := func(s float64) float64 {
+		return seg.T0 + rho*s + params.StubDelay(math.Abs(s-sFF)+d)
+	}
+
+	// Band of reachable delays on this segment: f is increasing on the
+	// right branch (s >= sFF); on the left branch it may dip where
+	// rho = dStubDelay/dl. Candidate extremes: endpoints, the projection,
+	// and the left-branch stationary point.
+	cands := []float64{0, b}
+	if sFF > 0 && sFF < b {
+		cands = append(cands, sFF)
+	}
+	// Left branch stationary point: rho - q'(l) = 0 with l = sFF - s + d.
+	lStar := (rho/params.RWire - params.CFF) / params.CWire
+	if lStar > d {
+		if s := sFF + d - lStar; s > 0 && s < math.Min(b, sFF) {
+			cands = append(cands, s)
+		}
+	}
+	minF, maxF := math.Inf(1), math.Inf(-1)
+	for _, s := range cands {
+		v := f(s)
+		minF = math.Min(minF, v)
+		maxF = math.Max(maxF, v)
+	}
+
+	// Case 1: shift the target up by whole periods until it reaches the
+	// band (clock phase is unchanged mod T).
+	k := int(math.Ceil((minF - tHat) / T))
+	best := Tap{WireLen: math.Inf(1)}
+	for ; ; k++ {
+		tau := tHat + float64(k)*T
+		if tau > maxF+1e-9 {
+			break
+		}
+		// Cases 2-3: direct solutions on the two parabola branches.
+		for _, root := range segmentRoots(seg.T0, rho, params, sFF, d, b, tau) {
+			l := math.Abs(root-sFF) + d
+			if l < best.WireLen {
+				best = Tap{
+					Point:      seg.Seg.At(root / b),
+					WireLen:    l,
+					Complement: seg.Complement,
+					Periods:    k,
+					Delay:      f(root),
+				}
+			}
+		}
+	}
+	if !math.IsInf(best.WireLen, 1) {
+		return best, true
+	}
+
+	// Case 4: target above the reachable band. Tap the segment end (the
+	// highest on-ring delay) and snake the stub until the Elmore delay of
+	// the longer wire makes up the difference.
+	kSnake := int(math.Ceil((maxF - tHat) / T))
+	if tHat+float64(kSnake)*T < maxF {
+		kSnake++
+	}
+	endDelay := seg.T0 + rho*b
+	direct := math.Abs(b-sFF) + d
+	for tries := 0; tries < 4; tries++ {
+		tau := tHat + float64(kSnake+tries)*T
+		need := tau - endDelay
+		l, ok := invertStubDelay(params, need)
+		if ok && l >= direct-1e-9 {
+			return Tap{
+				Point:      seg.Seg.B,
+				WireLen:    l,
+				Complement: seg.Complement,
+				Snaked:     true,
+				Periods:    kSnake + tries,
+				Delay:      endDelay + params.StubDelay(l),
+			}, true
+		}
+	}
+	return Tap{}, false
+}
+
+// segmentRoots returns the tap positions s in [0,b] solving
+// t0 + rho*s + StubDelay(|s-sFF|+d) = tau on both parabola branches.
+func segmentRoots(t0, rho float64, params Params, sFF, d, b, tau float64) []float64 {
+	rc := params.RWire * params.CWire
+	rcf := params.RWire * params.CFF
+	var roots []float64
+	add := func(s float64) {
+		if s >= -1e-9 && s <= b+1e-9 {
+			roots = append(roots, math.Min(b, math.Max(0, s)))
+		}
+	}
+	// Right branch: s >= sFF, l = s - sFF + d, s = l + sFF - d.
+	// 0.5 rc l^2 + (rcf + rho) l + (t0 + rho (sFF - d) - tau) = 0.
+	for _, l := range quadRoots(0.5*rc, rcf+rho, t0+rho*(sFF-d)-tau) {
+		if l >= d-1e-9 {
+			s := l + sFF - d
+			if s >= sFF-1e-9 {
+				add(s)
+			}
+		}
+	}
+	// Left branch: s <= sFF, l = sFF - s + d, s = sFF + d - l.
+	// 0.5 rc l^2 + (rcf - rho) l + (t0 + rho (sFF + d) - tau) = 0.
+	for _, l := range quadRoots(0.5*rc, rcf-rho, t0+rho*(sFF+d)-tau) {
+		if l >= d-1e-9 {
+			s := sFF + d - l
+			if s <= sFF+1e-9 {
+				add(s)
+			}
+		}
+	}
+	return roots
+}
+
+// quadRoots returns the real roots of a x^2 + b x + c = 0 (degenerating to
+// linear when a is tiny).
+func quadRoots(a, b, c float64) []float64 {
+	if math.Abs(a) < 1e-18 {
+		if math.Abs(b) < 1e-18 {
+			return nil
+		}
+		return []float64{-c / b}
+	}
+	disc := b*b - 4*a*c
+	if disc < 0 {
+		return nil
+	}
+	sq := math.Sqrt(disc)
+	// Numerically stable form.
+	var q float64
+	if b >= 0 {
+		q = -0.5 * (b + sq)
+	} else {
+		q = -0.5 * (b - sq)
+	}
+	roots := []float64{q / a}
+	if q != 0 {
+		roots = append(roots, c/q)
+	} else {
+		roots = append(roots, 0)
+	}
+	if roots[0] == roots[1] {
+		return roots[:1]
+	}
+	return roots
+}
+
+// invertStubDelay solves StubDelay(l) = target for l >= 0.
+func invertStubDelay(params Params, target float64) (float64, bool) {
+	if target < 0 {
+		return 0, false
+	}
+	rc := params.RWire * params.CWire
+	rcf := params.RWire * params.CFF
+	for _, l := range quadRoots(0.5*rc, rcf, -target) {
+		if l >= 0 {
+			return l, true
+		}
+	}
+	return 0, false
+}
+
+// CurvePoint is one sample of the t_f(x) tapping-delay curve of Fig. 2.
+type CurvePoint struct {
+	X     float64 // tap position along the segment (um)
+	Delay float64 // realized delay at the flip-flop (ps)
+	Stub  float64 // stub length (um)
+}
+
+// TappingCurve samples the two-parabola delay curve t_f(x) of Fig. 2 for a
+// flip-flop at ff against one segment of the ring, with n+1 samples. It is
+// the data behind the paper's Fig. 2 illustration.
+func TappingCurve(r *Ring, params Params, ff geom.Point, segIndex, n int) []CurvePoint {
+	segs := r.Segments(params.Period)
+	if segIndex < 0 || segIndex >= len(segs) {
+		return nil
+	}
+	seg := segs[segIndex]
+	b := seg.Seg.Length()
+	rho := r.Rho(params.Period)
+	ux := (seg.Seg.B.X - seg.Seg.A.X) / b
+	uy := (seg.Seg.B.Y - seg.Seg.A.Y) / b
+	relX, relY := ff.X-seg.Seg.A.X, ff.Y-seg.Seg.A.Y
+	sFF := relX*ux + relY*uy
+	d := math.Abs(relX*(-uy) + relY*ux)
+	pts := make([]CurvePoint, 0, n+1)
+	for i := 0; i <= n; i++ {
+		s := b * float64(i) / float64(n)
+		l := math.Abs(s-sFF) + d
+		pts = append(pts, CurvePoint{
+			X:     s,
+			Delay: seg.T0 + rho*s + params.StubDelay(l),
+			Stub:  l,
+		})
+	}
+	return pts
+}

@@ -1,0 +1,343 @@
+// Package skew implements the clock skew scheduling algorithms of Section
+// VII of the paper:
+//
+//   - MaxSlack: the classic Fishburn max-slack schedule under long-path and
+//     short-path constraints, solved with the graph-based binary search of
+//     Deokar/Sapatnekar (Bellman-Ford feasibility on the constraint graph).
+//   - MinDelta: the cost-driven variant that pulls every flip-flop's delay
+//     target toward the phase available at the nearest point of its rotary
+//     ring, minimizing the maximum mismatch Delta.
+//   - WeightedSum: the alternative cost-driven objective minimizing
+//     sum w_i |t_i - target_i|, solved exactly through the LP dual, which is
+//     a min-cost circulation.
+//
+// All schedules are vectors of clock delay targets t-hat indexed by
+// flip-flop index 0..n-1 (callers map netlist cell IDs to these indices).
+package skew
+
+import (
+	"fmt"
+	"math"
+
+	"rotaryclk/internal/mcmf"
+)
+
+// SeqPair is a sequentially adjacent flip-flop pair: U launches, V captures,
+// with extreme combinational delays between them.
+type SeqPair struct {
+	U, V       int
+	DMax, DMin float64
+}
+
+// DiffConstraint is the difference constraint t[U] - t[V] <= Bound.
+type DiffConstraint struct {
+	U, V  int
+	Bound float64
+}
+
+// Constraints expands sequential pairs into the Fishburn difference
+// constraints (6)-(7) for period T, slack M, and the given setup/hold times:
+//
+//	t_U - t_V <= T - DMax - setup - M      (long path)
+//	t_V - t_U <= DMin - hold - M           (short path)
+//
+// Self pairs (U == V) become self-loop constraints 0 <= Bound, which the
+// feasibility check handles naturally.
+func Constraints(pairs []SeqPair, T, M, setup, hold float64) []DiffConstraint {
+	cons := make([]DiffConstraint, 0, 2*len(pairs))
+	for _, p := range pairs {
+		cons = append(cons,
+			DiffConstraint{U: p.U, V: p.V, Bound: T - p.DMax - setup - M},
+			DiffConstraint{U: p.V, V: p.U, Bound: p.DMin - hold - M},
+		)
+	}
+	return cons
+}
+
+// Feasible solves the difference-constraint system over n variables with
+// Bellman-Ford. On success it returns a satisfying assignment (shortest-path
+// potentials, shifted so the minimum is zero). Constraints referencing
+// variables outside [0,n) cause a panic.
+func Feasible(n int, cons []DiffConstraint) ([]float64, bool) {
+	// Virtual source with zero-weight edges to every node is equivalent to
+	// initializing all distances to zero.
+	dist := make([]float64, n)
+	for iter := 0; iter <= n; iter++ {
+		changed := false
+		for _, c := range cons {
+			if c.U < 0 || c.U >= n || c.V < 0 || c.V >= n {
+				panic(fmt.Sprintf("skew: constraint %+v out of range n=%d", c, n))
+			}
+			// t_U <= t_V + Bound: relax edge V -> U with weight Bound.
+			if nd := dist[c.V] + c.Bound; nd < dist[c.U]-1e-9 {
+				dist[c.U] = nd
+				changed = true
+			}
+		}
+		if !changed {
+			normalize(dist)
+			return dist, true
+		}
+	}
+	return nil, false
+}
+
+func normalize(t []float64) {
+	if len(t) == 0 {
+		return
+	}
+	min := t[0]
+	for _, v := range t {
+		if v < min {
+			min = v
+		}
+	}
+	for i := range t {
+		t[i] -= min
+	}
+}
+
+// MaxSlack computes the maximum slack M such that the constraint system of
+// the pairs is feasible, together with a schedule achieving it (the
+// formulation (5)-(7) of the paper). The slack is found by binary search to
+// tol; Bellman-Ford provides each feasibility certificate.
+func MaxSlack(n int, pairs []SeqPair, T, setup, hold, tol float64) (float64, []float64, error) {
+	if tol <= 0 {
+		tol = 1e-3
+	}
+	// The system is always feasible for sufficiently negative M (every
+	// constraint bound grows as M falls), so widen the lower bracket until
+	// it certifies feasibility. A very negative optimum honestly reports a
+	// design that cannot close timing at this period.
+	lo, hi := -T, T
+	for {
+		if _, ok := Feasible(n, Constraints(pairs, T, lo, setup, hold)); ok {
+			break
+		}
+		lo *= 2
+		if lo < -1e6*T {
+			return 0, nil, fmt.Errorf("skew: constraints infeasible even at slack %v", lo)
+		}
+	}
+	var bestT []float64
+	if t, ok := Feasible(n, Constraints(pairs, T, hi, setup, hold)); ok {
+		return hi, t, nil
+	}
+	for hi-lo > tol {
+		mid := (lo + hi) / 2
+		if t, ok := Feasible(n, Constraints(pairs, T, mid, setup, hold)); ok {
+			lo, bestT = mid, t
+		} else {
+			hi = mid
+		}
+	}
+	if bestT == nil {
+		t, ok := Feasible(n, Constraints(pairs, T, lo, setup, hold))
+		if !ok {
+			return 0, nil, fmt.Errorf("skew: internal: feasible lower bound lost")
+		}
+		bestT = t
+	}
+	return lo, bestT, nil
+}
+
+// Anchor carries the rotary-ring attraction data of one flip-flop for the
+// cost-driven formulations: A is the clock delay at the nearest ring point c
+// (t_ref + t_ref,c) and TCI the stub delay t_{c,i} from c to the flip-flop.
+type Anchor struct {
+	A   float64
+	TCI float64
+}
+
+// MinDelta solves the cost-driven skew optimization of Section VII: find a
+// schedule satisfying the difference constraints cons that minimizes the
+// maximum anchor mismatch Delta, where per flip-flop i
+//
+//	A_i + 2 TCI_i - t_i <= Delta   and   t_i - A_i <= Delta.
+//
+// It binary-searches Delta, checking feasibility of the extended constraint
+// graph (a ground node pins the absolute values).
+func MinDelta(n int, cons []DiffConstraint, anchors []Anchor, tol float64) (float64, []float64, error) {
+	if len(anchors) != n {
+		return 0, nil, fmt.Errorf("skew: %d anchors for %d flip-flops", len(anchors), n)
+	}
+	if tol <= 0 {
+		tol = 1e-3
+	}
+	// Base feasibility (Delta = inf) and an initial schedule to bound Delta.
+	t0, ok := Feasible(n, cons)
+	if !ok {
+		return 0, nil, fmt.Errorf("skew: difference constraints infeasible")
+	}
+	// Ground node n: t[n] = 0 by convention (it only enters via bound arcs,
+	// and the bound arcs force consistency with the absolute anchors).
+	build := func(delta float64) []DiffConstraint {
+		out := make([]DiffConstraint, 0, len(cons)+2*n)
+		out = append(out, cons...)
+		for i, a := range anchors {
+			// t_i - t_g <= A_i + Delta
+			out = append(out, DiffConstraint{U: i, V: n, Bound: a.A + delta})
+			// t_g - t_i <= -(A_i + 2 TCI_i - Delta)
+			out = append(out, DiffConstraint{U: n, V: i, Bound: delta - a.A - 2*a.TCI})
+		}
+		return out
+	}
+	// Lower bound: Delta >= max TCI_i (adding the two per-FF constraints).
+	lo := 0.0
+	for _, a := range anchors {
+		if a.TCI > lo {
+			lo = a.TCI
+		}
+	}
+	// Upper bound from the unconstrained-anchor schedule t0, shifted to
+	// minimize its own mismatch.
+	hi := lo
+	shift := bestShift(t0, anchors)
+	for i, a := range anchors {
+		ti := t0[i] + shift
+		hi = math.Max(hi, math.Max(a.A+2*a.TCI-ti, ti-a.A))
+	}
+	hi += 1 // strictly feasible margin
+	var best []float64
+	for hi-lo > tol {
+		mid := (lo + hi) / 2
+		if t, ok := Feasible(n+1, build(mid)); ok {
+			hi = mid
+			best = rebase(t)
+		} else {
+			lo = mid
+		}
+	}
+	if best == nil {
+		t, ok := Feasible(n+1, build(hi))
+		if !ok {
+			return 0, nil, fmt.Errorf("skew: internal: upper bound infeasible")
+		}
+		best = rebase(t)
+	}
+	return hi, best, nil
+}
+
+// rebase shifts a schedule with ground node at index n so the ground sits at
+// zero, then drops it.
+func rebase(t []float64) []float64 {
+	n := len(t) - 1
+	g := t[n]
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = t[i] - g
+	}
+	return out
+}
+
+// bestShift returns the scalar shift minimizing the maximum mismatch of
+// schedule t against the anchors (difference constraints are shift
+// invariant, so this is free).
+func bestShift(t []float64, anchors []Anchor) float64 {
+	// Minimize max_i max(A_i + 2TCI_i - t_i - s, t_i + s - A_i): the upper
+	// envelope is piecewise linear in s; optimum at the midpoint of the
+	// extreme residuals.
+	loNeed, hiNeed := math.Inf(-1), math.Inf(1)
+	for i, a := range anchors {
+		loNeed = math.Max(loNeed, a.A+2*a.TCI-t[i]) // wants s >= this - Delta
+		hiNeed = math.Min(hiNeed, a.A-t[i])         // wants s <= this + Delta
+	}
+	if math.IsInf(loNeed, -1) {
+		return 0
+	}
+	return (loNeed + hiNeed) / 2
+}
+
+// WeightedSum solves the weighted-sum cost-driven formulation: minimize
+// sum_i w_i |t_i - target_i| subject to the difference constraints, where
+// target_i = A_i + TCI_i is the realized delay through the nearest ring
+// point. Weights are rounded to positive integers (the paper's natural
+// choice w_i = l_i is in micrometers, so unit resolution is ample).
+//
+// The LP dual is a min-cost circulation: each difference constraint
+// t_U - t_V <= b becomes an infinite-capacity arc U->V of cost b, and each
+// flip-flop exchanges up to w_i units with a ground node at cost +-target_i.
+// Optimal node potentials of the residual network recover the schedule.
+func WeightedSum(n int, cons []DiffConstraint, targets []float64, weights []float64) (float64, []float64, error) {
+	if len(targets) != n || len(weights) != n {
+		return 0, nil, fmt.Errorf("skew: targets/weights length mismatch")
+	}
+	if _, ok := Feasible(n, cons); !ok {
+		return 0, nil, fmt.Errorf("skew: difference constraints infeasible")
+	}
+	g := mcmf.NewGraph(n + 1)
+	ground := n
+	wi := make([]int, n)
+	total := 0
+	for i, w := range weights {
+		wi[i] = int(math.Round(w))
+		if wi[i] < 1 {
+			wi[i] = 1
+		}
+		total += wi[i]
+	}
+	infCap := total + 1
+	for _, c := range cons {
+		if c.U == c.V {
+			if c.Bound < 0 {
+				return 0, nil, fmt.Errorf("skew: negative self-loop constraint %+v", c)
+			}
+			continue
+		}
+		g.AddArc(c.U, c.V, infCap, c.Bound)
+	}
+	type pair struct{ toG, fromG mcmf.ArcID }
+	arcs := make([]pair, n)
+	for i := 0; i < n; i++ {
+		arcs[i] = pair{
+			toG:   g.AddArc(i, ground, wi[i], targets[i]),
+			fromG: g.AddArc(ground, i, wi[i], -targets[i]),
+		}
+	}
+	negCost := g.MinCostCirculation()
+	obj := -negCost
+
+	dist, ok := g.ResidualDistances(ground)
+	if !ok {
+		return 0, nil, fmt.Errorf("skew: residual network has a negative cycle (circulation not optimal)")
+	}
+	t := make([]float64, n)
+	for i := 0; i < n; i++ {
+		if math.IsInf(dist[i], 1) {
+			// Not connected to ground in the residual graph: both bound
+			// arcs saturated in the same direction cannot happen (they are
+			// antiparallel), so this means w_i = 0 paths; fall back to the
+			// target itself.
+			t[i] = targets[i]
+			continue
+		}
+		t[i] = -dist[i]
+	}
+	// The integer-rounded weights give the exact optimum of the rounded
+	// problem; report the objective of the recovered schedule under the
+	// true weights for honesty.
+	trueObj := 0.0
+	for i := 0; i < n; i++ {
+		trueObj += weights[i] * math.Abs(t[i]-targets[i])
+	}
+	_ = obj
+	return trueObj, t, nil
+}
+
+// Verify checks a schedule against the difference constraints, returning the
+// worst violation (<= 0 means feasible).
+func Verify(t []float64, cons []DiffConstraint) float64 {
+	worst := math.Inf(-1)
+	for _, c := range cons {
+		var v float64
+		if c.U == c.V {
+			v = -c.Bound
+		} else {
+			v = t[c.U] - t[c.V] - c.Bound
+		}
+		if v > worst {
+			worst = v
+		}
+	}
+	return worst
+}

@@ -1,0 +1,131 @@
+package steiner
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rotaryclk/internal/geom"
+)
+
+func TestMSTLengthBasics(t *testing.T) {
+	if MSTLength(nil) != 0 || MSTLength([]geom.Point{geom.Pt(1, 1)}) != 0 {
+		t.Error("degenerate MST length should be 0")
+	}
+	two := []geom.Point{geom.Pt(0, 0), geom.Pt(3, 4)}
+	if got := MSTLength(two); math.Abs(got-7) > 1e-9 {
+		t.Errorf("MST of 2 points = %v, want 7", got)
+	}
+	// Three collinear points: MST = total span.
+	line := []geom.Point{geom.Pt(0, 0), geom.Pt(5, 0), geom.Pt(9, 0)}
+	if got := MSTLength(line); math.Abs(got-9) > 1e-9 {
+		t.Errorf("MST = %v, want 9", got)
+	}
+}
+
+func TestEstimateSmallNets(t *testing.T) {
+	if Estimate(nil) != 0 || Estimate([]geom.Point{geom.Pt(0, 0)}) != 0 {
+		t.Error("tiny nets should be 0")
+	}
+	two := []geom.Point{geom.Pt(1, 1), geom.Pt(4, 5)}
+	if got := Estimate(two); math.Abs(got-7) > 1e-9 {
+		t.Errorf("2-pin = %v, want 7", got)
+	}
+	// 3-pin L: RSMT = bbox half perimeter via the median point.
+	three := []geom.Point{geom.Pt(0, 0), geom.Pt(10, 0), geom.Pt(10, 10)}
+	if got := Estimate(three); math.Abs(got-20) > 1e-9 {
+		t.Errorf("3-pin = %v, want 20", got)
+	}
+}
+
+func TestEstimateCrossBeatsM(t *testing.T) {
+	// Four pins in a plus: MST = 3 edges of length 10+10+10=30 (via some
+	// chain), RSMT = 20 (a cross through the center).
+	pts := []geom.Point{geom.Pt(0, 5), geom.Pt(10, 5), geom.Pt(5, 0), geom.Pt(5, 10)}
+	mst := MSTLength(pts)
+	est := Estimate(pts)
+	if est >= mst {
+		t.Errorf("Steiner estimate %v did not beat MST %v", est, mst)
+	}
+	if math.Abs(est-20) > 1e-9 {
+		t.Errorf("cross RSMT = %v, want 20", est)
+	}
+}
+
+func TestEstimateBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 50; trial++ {
+		n := 4 + rng.Intn(5)
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Pt(rng.Float64()*1000, rng.Float64()*1000)
+		}
+		hp := geom.HPWL(pts)
+		mst := MSTLength(pts)
+		est := Estimate(pts)
+		if est < hp-1e-9 {
+			t.Fatalf("trial %d: estimate %v below HPWL bound %v", trial, est, hp)
+		}
+		if est > mst+1e-9 {
+			t.Fatalf("trial %d: estimate %v above MST %v", trial, est, mst)
+		}
+	}
+}
+
+func TestNetLengthLargeNetsFallBack(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	pts := make([]geom.Point, 40)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64()*1000, rng.Float64()*1000)
+	}
+	if got, want := NetLength(pts), MSTLength(pts); got != want {
+		t.Errorf("large net should use MST: %v vs %v", got, want)
+	}
+	small := pts[:5]
+	if NetLength(small) > MSTLength(small) {
+		t.Error("small net estimate above MST")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	m := median(geom.Pt(0, 9), geom.Pt(5, 0), geom.Pt(9, 4))
+	if m != geom.Pt(5, 4) {
+		t.Errorf("median = %v, want (5,4)", m)
+	}
+}
+
+// Property: the estimate is invariant under translation and point
+// permutation.
+func TestEstimateInvariance(t *testing.T) {
+	f := func(seed int64, dx, dy float64) bool {
+		if math.IsNaN(dx) || math.IsNaN(dy) || math.Abs(dx) > 1e6 || math.Abs(dy) > 1e6 {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(4)
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Pt(rng.Float64()*500, rng.Float64()*500)
+		}
+		base := Estimate(pts)
+		// Translate.
+		moved := make([]geom.Point, n)
+		for i, p := range pts {
+			moved[i] = geom.Pt(p.X+dx, p.Y+dy)
+		}
+		if math.Abs(Estimate(moved)-base) > 1e-6*(1+base) {
+			return false
+		}
+		// Permute.
+		perm := rng.Perm(n)
+		shuffled := make([]geom.Point, n)
+		for i, j := range perm {
+			shuffled[i] = pts[j]
+		}
+		return math.Abs(Estimate(shuffled)-base) < 1e-6*(1+base)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

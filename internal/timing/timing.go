@@ -1,0 +1,292 @@
+// Package timing is the static timing analysis substrate used by skew
+// optimization: it extracts sequentially adjacent flip-flop pairs from a
+// placed netlist and computes the maximum and minimum combinational delays
+// D_max/D_min between them under the Elmore delay model (the paper's
+// Section VII setup uses exactly this model).
+//
+// Units match the rest of the repository: micrometers, picoseconds,
+// kilo-ohms, femtofarads.
+package timing
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"rotaryclk/internal/netlist"
+)
+
+// Model holds the timing calibration: per-function intrinsic delays, the
+// driver output resistance, the interconnect RC, and the sequential
+// element's setup/hold requirements.
+type Model struct {
+	Intrinsic map[netlist.Func]float64 // ps, switching delay of the gate itself
+	DriveRes  float64                  // kOhm, driver output resistance
+	RWire     float64                  // kOhm/um
+	CWire     float64                  // fF/um
+	CPin      float64                  // fF, input pin capacitance
+	TSetup    float64                  // ps
+	THold     float64                  // ps
+
+	// Implicit buffering. Physical synthesis buffers high-fanout and long
+	// nets, so the load a driver actually sees saturates. MaxFanout caps
+	// the number of pin loads and MaxWireLoad the wire length (um) charged
+	// to the driver; LBuf is the length beyond which wire delay grows
+	// linearly (repeatered) instead of quadratically.
+	MaxFanout   int
+	MaxWireLoad float64
+	LBuf        float64
+}
+
+// DefaultModel returns a 100 nm-class calibration (bptm-style interconnect,
+// gate delays in the tens of picoseconds) consistent with the paper's 1 GHz
+// operating point.
+func DefaultModel() Model {
+	return Model{
+		Intrinsic: map[netlist.Func]float64{
+			netlist.FuncBuf:  18,
+			netlist.FuncNot:  12,
+			netlist.FuncAnd:  28,
+			netlist.FuncNand: 20,
+			netlist.FuncOr:   30,
+			netlist.FuncNor:  24,
+			netlist.FuncXor:  42,
+			netlist.FuncXnor: 44,
+			netlist.FuncDFF:  35, // clock-to-Q
+			netlist.FuncNone: 20,
+		},
+		DriveRes:    0.6,
+		RWire:       0.0001,
+		CWire:       0.2,
+		CPin:        8,
+		TSetup:      30,
+		THold:       15,
+		MaxFanout:   4,
+		MaxWireLoad: 300,
+		LBuf:        500,
+	}
+}
+
+// wireDelay returns the interconnect delay of a point-to-point connection of
+// length L: quadratic Elmore up to LBuf, then linear (repeatered).
+func (m Model) wireDelay(L float64) float64 {
+	if m.LBuf <= 0 || L <= m.LBuf {
+		return m.RWire * L * (m.CWire*L/2 + m.CPin)
+	}
+	atBuf := m.RWire * m.LBuf * (m.CWire*m.LBuf/2 + m.CPin)
+	slope := m.RWire * (m.CWire*m.LBuf + m.CPin)
+	return atBuf + slope*(L-m.LBuf)
+}
+
+// driverLoad returns the capacitance charged to a driver with the given
+// total net capacitance, saturating at the implicit-buffering cap.
+func (m Model) driverLoad(cTotal float64) float64 {
+	cap := m.CPin*float64(m.MaxFanout) + m.CWire*m.MaxWireLoad
+	if m.MaxFanout <= 0 || cTotal <= cap {
+		return cTotal
+	}
+	return cap
+}
+
+// Pair records one sequentially adjacent flip-flop pair i |-> j with its
+// extreme combinational delays over all connecting paths.
+type Pair struct {
+	From, To   int // cell IDs of the launching and capturing flip-flop
+	DMax, DMin float64
+}
+
+// Result is the output of Analyze.
+type Result struct {
+	Pairs []Pair
+	// MaxComb is the largest D_max over all pairs, the critical
+	// combinational delay of the circuit.
+	MaxComb float64
+}
+
+// PermissibleRange returns the skew window [lo, hi] for t_i - t_j of a pair
+// under period T and slack margin M (the Fishburn constraints (6)-(7)):
+//
+//	lo = M + t_hold - D_min     hi = T - D_max - t_setup - M
+func (m Model) PermissibleRange(p Pair, T, M float64) (lo, hi float64) {
+	return M + m.THold - p.DMin, T - p.DMax - m.TSetup - M
+}
+
+// edge is one timing arc: driver cell -> sink cell with Elmore delay.
+type edge struct {
+	to    int
+	delay float64
+}
+
+// buildArcs constructs the timing arcs of the placed circuit. Delay from
+// driver u to sink v over u's fanout net is
+//
+//	intrinsic(u) + DriveRes * C_net + r L (c L / 2 + CPin)
+//
+// with C_net the total capacitance the driver sees (Elmore star model).
+func buildArcs(c *netlist.Circuit, m Model) [][]edge {
+	adj := make([][]edge, len(c.Cells))
+	for _, net := range c.Nets {
+		drv := net.Driver()
+		if drv < 0 || len(net.Pins) < 2 {
+			continue
+		}
+		du := c.Cells[drv]
+		if du.Kind == netlist.Output {
+			continue
+		}
+		cTotal := 0.0
+		for _, sv := range net.Sinks() {
+			L := du.Pos.Manhattan(c.Cells[sv].Pos)
+			cTotal += m.CWire*L + m.CPin
+		}
+		intr, ok := m.Intrinsic[du.Fn]
+		if !ok {
+			intr = m.Intrinsic[netlist.FuncNone]
+		}
+		load := m.driverLoad(cTotal)
+		for _, sv := range net.Sinks() {
+			L := du.Pos.Manhattan(c.Cells[sv].Pos)
+			d := intr + m.DriveRes*load + m.wireDelay(L)
+			adj[drv] = append(adj[drv], edge{to: sv, delay: d})
+		}
+	}
+	return adj
+}
+
+// topoOrder returns a topological index per cell for combinational
+// propagation (flip-flops act as sources; arcs into flip-flops are capture
+// points and carry no ordering constraint). It errors on a combinational
+// cycle.
+func topoOrder(c *netlist.Circuit, adj [][]edge) ([]int, error) {
+	n := len(c.Cells)
+	indeg := make([]int, n)
+	for u := range adj {
+		for _, e := range adj[u] {
+			if c.Cells[e.to].Kind != netlist.FF {
+				indeg[e.to]++
+			}
+		}
+	}
+	queue := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			queue = append(queue, v)
+		}
+	}
+	idx := make([]int, n)
+	seen := 0
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		idx[v] = seen
+		seen++
+		for _, e := range adj[v] {
+			if c.Cells[e.to].Kind == netlist.FF {
+				continue
+			}
+			indeg[e.to]--
+			if indeg[e.to] == 0 {
+				queue = append(queue, e.to)
+			}
+		}
+	}
+	if seen != n {
+		return nil, fmt.Errorf("timing: combinational cycle detected (%d of %d cells ordered)", seen, n)
+	}
+	return idx, nil
+}
+
+// Analyze runs block-based STA over the placed circuit and returns the
+// sequential adjacency pairs. It returns an error on combinational cycles.
+func Analyze(c *netlist.Circuit, m Model) (*Result, error) {
+	n := len(c.Cells)
+	adj := buildArcs(c, m)
+	topoIdx, err := topoOrder(c, adj)
+	if err != nil {
+		return nil, err
+	}
+
+	dmax := make([]float64, n)
+	dmin := make([]float64, n)
+	stamp := make([]int, n)
+	epoch := 0
+	pairIdx := map[int64]int{}
+	res := &Result{}
+	reach := make([]int, 0, n)
+
+	for _, src := range c.FlipFlops() {
+		epoch++
+		// Discover the combinational cone of src (stop at flip-flops).
+		reach = reach[:0]
+		stamp[src] = epoch
+		reach = append(reach, src)
+		for qi := 0; qi < len(reach); qi++ {
+			u := reach[qi]
+			if u != src && c.Cells[u].Kind == netlist.FF {
+				continue
+			}
+			for _, e := range adj[u] {
+				if stamp[e.to] != epoch {
+					stamp[e.to] = epoch
+					reach = append(reach, e.to)
+				}
+			}
+		}
+		// Relax in topological order.
+		sort.Slice(reach, func(a, b int) bool { return topoIdx[reach[a]] < topoIdx[reach[b]] })
+		for _, u := range reach {
+			dmax[u], dmin[u] = math.Inf(-1), math.Inf(1)
+		}
+		dmax[src], dmin[src] = 0, 0
+		// Self-loop paths (src back to its own D input) are tracked
+		// separately so they cannot corrupt the source seed.
+		selfMax, selfMin := math.Inf(-1), math.Inf(1)
+		for _, u := range reach {
+			if (u != src && c.Cells[u].Kind == netlist.FF) || math.IsInf(dmax[u], -1) {
+				continue
+			}
+			for _, e := range adj[u] {
+				v := e.to
+				if stamp[v] != epoch {
+					continue
+				}
+				if v == src {
+					selfMax = math.Max(selfMax, dmax[u]+e.delay)
+					selfMin = math.Min(selfMin, dmin[u]+e.delay)
+					continue
+				}
+				if d := dmax[u] + e.delay; d > dmax[v] {
+					dmax[v] = d
+				}
+				if d := dmin[u] + e.delay; d < dmin[v] {
+					dmin[v] = d
+				}
+			}
+		}
+		// Record flip-flop capture points (including self-loops).
+		record := func(v int, dMax, dMin float64) {
+			key := int64(src)<<32 | int64(v)
+			if pi, ok := pairIdx[key]; ok {
+				p := &res.Pairs[pi]
+				p.DMax = math.Max(p.DMax, dMax)
+				p.DMin = math.Min(p.DMin, dMin)
+			} else {
+				pairIdx[key] = len(res.Pairs)
+				res.Pairs = append(res.Pairs, Pair{From: src, To: v, DMax: dMax, DMin: dMin})
+			}
+			if dMax > res.MaxComb {
+				res.MaxComb = dMax
+			}
+		}
+		if !math.IsInf(selfMax, -1) {
+			record(src, selfMax, selfMin)
+		}
+		for _, v := range reach {
+			if v == src || c.Cells[v].Kind != netlist.FF || math.IsInf(dmax[v], -1) {
+				continue
+			}
+			record(v, dmax[v], dmin[v])
+		}
+	}
+	return res, nil
+}

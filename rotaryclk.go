@@ -1,0 +1,146 @@
+// Package rotaryclk is an integrated placement and clock-skew optimization
+// library for rotary traveling-wave clocking, reproducing Venkataraman, Hu
+// and Liu, "Integrated Placement and Skew Optimization for Rotary Clocking"
+// (DATE 2006 / IEEE TVLSI 2007).
+//
+// Rotary clock rings deliver a clock whose phase varies with position along
+// the ring. The library breaks the resulting placement/skew chicken-and-egg
+// problem with the paper's flexible-tapping relaxation and six-stage flow:
+//
+//	c, _ := rotaryclk.Generate(rotaryclk.GenSpec{Name: "demo", Cells: 800, FlipFlops: 100, Seed: 1})
+//	res, _ := rotaryclk.Run(c, rotaryclk.Config{NumRings: 9})
+//	fmt.Println("tapping WL improved:", res.Base.TapWL, "->", res.Final.TapWL)
+//
+// The facade re-exports the library's main entry points; the full toolbox
+// (placer, STA, LP/ILP solvers, min-cost flow, skew scheduling, power
+// models, benchmark suite) lives in the internal packages and is exercised
+// through this API, the cmd/ tools, and the examples/ programs.
+package rotaryclk
+
+import (
+	"io"
+
+	"rotaryclk/internal/core"
+	"rotaryclk/internal/geom"
+	"rotaryclk/internal/netlist"
+	"rotaryclk/internal/rotary"
+)
+
+// Geometry primitives (micrometers).
+type (
+	// Point is a location in the placement plane.
+	Point = geom.Point
+	// Rect is an axis-aligned rectangle (the die, ring bounds, ...).
+	Rect = geom.Rect
+)
+
+// Pt is shorthand for Point{X: x, Y: y}.
+func Pt(x, y float64) Point { return geom.Pt(x, y) }
+
+// Netlist types.
+type (
+	// Circuit is a gate-level sequential circuit with placement.
+	Circuit = netlist.Circuit
+	// Cell is one placeable circuit element.
+	Cell = netlist.Cell
+	// Net is one signal net (Pins[0] drives).
+	Net = netlist.Net
+	// GenSpec parameterizes the synthetic benchmark generator.
+	GenSpec = netlist.GenSpec
+	// Kind classifies a cell (gate, flip-flop, pad).
+	Kind = netlist.Kind
+)
+
+// Cell kinds.
+const (
+	// KindGate is a combinational standard cell.
+	KindGate = netlist.Gate
+	// KindFF is a D flip-flop (clock sink).
+	KindFF = netlist.FF
+	// KindInput is a primary input pad.
+	KindInput = netlist.Input
+	// KindOutput is a primary output pad.
+	KindOutput = netlist.Output
+)
+
+// NewCircuit returns an empty circuit with the given name.
+func NewCircuit(name string) *Circuit { return netlist.New(name) }
+
+// Generate builds a synthetic sequential circuit (deterministic per spec).
+func Generate(spec GenSpec) (*Circuit, error) { return netlist.Generate(spec) }
+
+// ParseBench reads an ISCAS89 .bench netlist.
+func ParseBench(name string, r io.Reader) (*Circuit, error) {
+	return netlist.ParseBench(name, r)
+}
+
+// WriteBench writes a circuit in ISCAS89 .bench format.
+func WriteBench(w io.Writer, c *Circuit) error { return netlist.WriteBench(w, c) }
+
+// Rotary clock types.
+type (
+	// Params holds the rotary ring electrical and timing constants.
+	Params = rotary.Params
+	// Ring is one square rotary clock ring.
+	Ring = rotary.Ring
+	// Array is a grid of phase-locked rings covering the die.
+	Array = rotary.Array
+	// Tap is a solved tapping point (ring point + stub) for a flip-flop.
+	Tap = rotary.Tap
+)
+
+// DefaultParams returns the 1 GHz / 100 nm-class calibration used by all
+// experiments.
+func DefaultParams() Params { return rotary.DefaultParams() }
+
+// NewArray tiles the die with nx x ny rotary rings.
+func NewArray(die Rect, nx, ny int, fill float64, p Params) (*Array, error) {
+	return rotary.NewArray(die, nx, ny, fill, p)
+}
+
+// SolveTap finds the minimum-stub tapping point on ring r realizing clock
+// delay target tHat (ps, modulo the period) for a flip-flop at ff — the
+// flexible-tapping relaxation of Section III.
+func SolveTap(r *Ring, p Params, ff Point, tHat float64) (Tap, error) {
+	return rotary.SolveTap(r, p, ff, tHat)
+}
+
+// Flow types.
+type (
+	// Config parameterizes the integrated flow.
+	Config = core.Config
+	// Result carries the flow's metrics, schedule and assignment.
+	Result = core.Result
+	// Metrics are the paper's per-design measurements.
+	Metrics = core.Metrics
+	// Assigner selects the stage-3 formulation.
+	Assigner = core.Assigner
+	// SkewObjective selects the stage-4 cost-driven objective.
+	SkewObjective = core.SkewObjective
+)
+
+// Stage-3 assignment formulations.
+const (
+	// NetworkFlow minimizes total tapping wirelength (Section V).
+	NetworkFlow = core.NetworkFlow
+	// ILP minimizes the maximum ring load capacitance (Section VI).
+	ILP = core.ILP
+)
+
+// Stage-4 cost-driven skew objectives.
+const (
+	// MinDelta minimizes the maximum anchor mismatch.
+	MinDelta = core.MinDelta
+	// WeightedSum minimizes the weighted sum of anchor mismatches.
+	WeightedSum = core.WeightedSum
+)
+
+// Run executes the integrated placement and skew optimization flow of
+// Fig. 3 on the circuit, writing the final placement onto it.
+func Run(c *Circuit, cfg Config) (*Result, error) { return core.Run(c, cfg) }
+
+// SizePhysical equips a circuit parsed from a purely logical format (such as
+// an ISCAS89 .bench file) with a die, cell footprints at the given
+// utilization (0 = default 0.7), boundary pads, and a deterministic seed
+// placement, making it ready for Run.
+func SizePhysical(c *Circuit, util float64) error { return netlist.SizePhysical(c, util) }
