@@ -1,0 +1,12 @@
+# Tier-1 gate, race gate, and benchmark baseline. See scripts/ci.sh.
+
+.PHONY: test race bench
+
+test:
+	sh scripts/ci.sh test
+
+race:
+	sh scripts/ci.sh race
+
+bench:
+	sh scripts/ci.sh bench

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	rotaryflow -circuit s9234 [-scale 0.25] [-assigner flow|ilp] [-objective delta|sum]
+//	rotaryflow -circuit s9234 [-scale 0.25] [-assigner flow|ilp] [-objective delta|sum] [-j 4]
 //	rotaryflow -bench path/to/circuit.bench -rings 16
 package main
 
@@ -50,6 +50,7 @@ func main() {
 		objective = flag.String("objective", "delta", "stage-4 objective: delta | sum")
 		iters     = flag.Int("iters", 5, "max stage 3-6 iterations")
 		svgOut    = flag.String("svg", "", "write the final placement + rings + taps as SVG to this file")
+		jobs      = flag.Int("j", 0, "parallel workers for the flow kernels (0 = all cores, 1 = serial; results identical)")
 	)
 	flag.Parse()
 
@@ -59,6 +60,7 @@ func main() {
 		os.Exit(1)
 	}
 	cfg.MaxIters = *iters
+	cfg.Parallelism = *jobs
 	switch *assigner {
 	case "flow":
 	case "ilp":

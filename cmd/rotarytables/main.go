@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	rotarytables [-scale 0.2] [-ilp-budget 10s] [-circuits s9234,s5378] [-tables I,III,IV]
+//	rotarytables [-scale 0.2] [-ilp-budget 10s] [-circuits s9234,s5378] [-tables I,III,IV] [-j 4]
 //
 // Scale 1 runs the paper-size circuits (several minutes); the default scale
 // runs the whole matrix in about a minute.
@@ -26,10 +26,11 @@ func main() {
 		budget = flag.Duration("ilp-budget", 10*time.Second, "wall-clock budget for the generic ILP baseline (Table I)")
 		subset = flag.String("circuits", "", "comma-separated circuit subset (default: all five)")
 		tables = flag.String("tables", "I,II,III,IV,V,VI,VII,Fig2,Var,Trees,Rings", "comma-separated tables to regenerate (Var/Trees/Rings are the extension studies)")
+		jobs   = flag.Int("j", 0, "parallel workers across circuits and kernels (0 = all cores, 1 = serial; identical tables either way)")
 	)
 	flag.Parse()
 
-	opt := exp.Options{Scale: *scale, ILPBudget: *budget}
+	opt := exp.Options{Scale: *scale, ILPBudget: *budget, Parallelism: *jobs}
 	if *subset != "" {
 		opt.Circuits = strings.Split(*subset, ",")
 	}

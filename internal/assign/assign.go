@@ -20,6 +20,7 @@ import (
 	"rotaryclk/internal/geom"
 	"rotaryclk/internal/lp"
 	"rotaryclk/internal/mcmf"
+	"rotaryclk/internal/par"
 	"rotaryclk/internal/rotary"
 )
 
@@ -46,6 +47,14 @@ type Problem struct {
 	// exceeds it (Section III's stub-length limit), always keeping each
 	// flip-flop's three cheapest arcs so the assignment stays feasible.
 	MaxStub float64
+	// Parallelism bounds the workers building the FF×ring candidate matrix
+	// (each tapping solve is independent): 0 = GOMAXPROCS, 1 = serial.
+	// The result is identical for every value.
+	Parallelism int
+	// Cache, when non-nil, memoizes tapping solves across calls so the
+	// flow's re-optimization loop stops re-solving unchanged flip-flops.
+	// Must be dedicated to this problem's Array (see TapCache).
+	Cache *TapCache
 }
 
 // Assignment is the result of any of the assigners.
@@ -101,17 +110,30 @@ type candidate struct {
 	cap  float64 // load capacitance C_p^{ij}
 }
 
+// solveTap solves (or cache-looks-up) the tapping point of one candidate arc.
+func (p *Problem) solveTap(ring int, pos geom.Point, target float64) (rotary.Tap, bool) {
+	if p.Cache != nil {
+		return p.Cache.solve(p.Array, ring, pos, target)
+	}
+	tap, err := rotary.SolveTap(p.Array.Rings[ring], p.Array.Params, pos, target)
+	return tap, err == nil
+}
+
 // candidates computes the pruned arc set: for each flip-flop, the K nearest
 // rings with their solved taps. Every flip-flop keeps at least one arc.
+// Flip-flops are independent, so the matrix builds in parallel (each worker
+// writes only its own rows); the output is identical for every worker count.
 func (p *Problem) candidates() ([][]candidate, error) {
 	out := make([][]candidate, len(p.FFs))
+	errs := make([]error, len(p.FFs))
 	params := p.Array.Params
-	for i, ff := range p.FFs {
+	par.For(p.Parallelism, len(p.FFs), func(i int) {
+		ff := p.FFs[i]
 		rings := p.Array.NearestRings(ff.Pos, p.K)
 		var all []candidate
 		for _, j := range rings {
-			tap, err := rotary.SolveTap(p.Array.Rings[j], params, ff.Pos, ff.Target)
-			if err != nil {
+			tap, ok := p.solveTap(j, ff.Pos, ff.Target)
+			if !ok {
 				continue
 			}
 			all = append(all, candidate{
@@ -122,7 +144,8 @@ func (p *Problem) candidates() ([][]candidate, error) {
 			})
 		}
 		if len(all) == 0 {
-			return nil, fmt.Errorf("assign: flip-flop %d (cell %d) has no feasible ring", i, p.FFs[i].Cell)
+			errs[i] = fmt.Errorf("assign: flip-flop %d (cell %d) has no feasible ring", i, p.FFs[i].Cell)
+			return
 		}
 		sort.SliceStable(all, func(a, b int) bool { return all[a].cost < all[b].cost })
 		// Stubs beyond MaxStub defeat rotary clocking's variability
@@ -135,6 +158,11 @@ func (p *Problem) candidates() ([][]candidate, error) {
 				break // sorted: everything after also exceeds the limit
 			}
 			out[i] = append(out[i], c)
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
 	}
 	return out, nil

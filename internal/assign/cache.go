@@ -1,0 +1,68 @@
+package assign
+
+import (
+	"sync"
+
+	"rotaryclk/internal/geom"
+	"rotaryclk/internal/rotary"
+)
+
+// tapKey identifies one tapping-point solve: SolveTap is a pure function of
+// the ring, the flip-flop position, and the delay target (for a fixed ring
+// array and parameter set), so the triple is a complete cache key.
+type tapKey struct {
+	ring      int
+	x, y, tgt float64
+}
+
+// tapEntry caches the solve outcome; infeasible solves (ok = false) are
+// cached too so a repeatedly-infeasible arc costs one solve, not one per
+// flow iteration.
+type tapEntry struct {
+	tap rotary.Tap
+	ok  bool
+}
+
+// TapCache memoizes SolveTap results across assignment calls. The flow's
+// cost-driven re-optimization loop re-solves the whole FF×ring candidate
+// matrix every iteration, but most flip-flops move little (or not at all)
+// between iterations and keep their delay targets; the cache turns those
+// re-solves into lookups. It is safe for concurrent use.
+//
+// A cache is only valid for one ring array and parameter set: core.Run
+// creates one per flow. Do not share a cache across arrays.
+type TapCache struct {
+	mu sync.RWMutex
+	m  map[tapKey]tapEntry
+}
+
+// NewTapCache returns an empty tapping-solve cache.
+func NewTapCache() *TapCache {
+	return &TapCache{m: make(map[tapKey]tapEntry)}
+}
+
+// Len reports the number of memoized solves.
+func (tc *TapCache) Len() int {
+	tc.mu.RLock()
+	defer tc.mu.RUnlock()
+	return len(tc.m)
+}
+
+// solve returns the memoized tapping solution for (ring, ff, target),
+// computing and recording it on a miss. Concurrent misses on the same key
+// may both compute, but SolveTap is pure so they store the same value.
+func (tc *TapCache) solve(arr *rotary.Array, ring int, ff geom.Point, target float64) (rotary.Tap, bool) {
+	key := tapKey{ring: ring, x: ff.X, y: ff.Y, tgt: target}
+	tc.mu.RLock()
+	e, hit := tc.m[key]
+	tc.mu.RUnlock()
+	if hit {
+		return e.tap, e.ok
+	}
+	tap, err := rotary.SolveTap(arr.Rings[ring], arr.Params, ff, target)
+	e = tapEntry{tap: tap, ok: err == nil}
+	tc.mu.Lock()
+	tc.m[key] = e
+	tc.mu.Unlock()
+	return e.tap, e.ok
+}

@@ -73,6 +73,11 @@ type Config struct {
 	ConvergeTol  float64 // relative cost improvement to keep iterating (default 0.01)
 
 	SkipInitialPlace bool // reuse the circuit's existing placement
+
+	// Parallelism bounds the worker count of the parallel kernels (placer
+	// CG, assignment candidate matrix): 0 = GOMAXPROCS, 1 = serial. Every
+	// value produces bit-identical results (see internal/par).
+	Parallelism int
 }
 
 func (c *Config) normalize() {
@@ -164,7 +169,7 @@ func Run(c *netlist.Circuit, cfg Config) (*Result, error) {
 	// Stage 1: initial placement.
 	tPlace := time.Now()
 	if !cfg.SkipInitialPlace {
-		if err := placer.Global(c, placer.Options{}); err != nil {
+		if err := placer.Global(c, placer.Options{Parallelism: cfg.Parallelism}); err != nil {
 			return nil, fmt.Errorf("core: global placement: %w", err)
 		}
 		if err := placer.Legalize(c); err != nil {
@@ -199,8 +204,13 @@ func Run(c *netlist.Circuit, cfg Config) (*Result, error) {
 	res.MaxSlack = M
 	res.Schedule = sched
 
-	// Stage 3: initial assignment -> base case metrics.
-	asg, err := runAssign(c, cfg, arr, res.FFCells, sched)
+	// Stage 3: initial assignment -> base case metrics. The tapping-solve
+	// cache lives for the whole flow: across the re-optimization loop most
+	// flip-flops keep their (position, target) pair from one iteration to
+	// the next, so their candidate arcs come from the cache instead of
+	// being re-solved.
+	tapCache := assign.NewTapCache()
+	asg, err := runAssign(c, cfg, arr, res.FFCells, sched, tapCache)
 	if err != nil {
 		return nil, err
 	}
@@ -249,7 +259,7 @@ func Run(c *netlist.Circuit, cfg Config) (*Result, error) {
 				Weight: cfg.PseudoWeight * float64(iter),
 			})
 		}
-		if err := placer.Incremental(c, placer.Options{PseudoNets: pn}); err != nil {
+		if err := placer.Incremental(c, placer.Options{PseudoNets: pn, Parallelism: cfg.Parallelism}); err != nil {
 			return nil, fmt.Errorf("core: incremental placement (iter %d): %w", iter, err)
 		}
 		if err := placer.Legalize(c); err != nil {
@@ -282,7 +292,7 @@ func Run(c *netlist.Circuit, cfg Config) (*Result, error) {
 			if err != nil {
 				return nil, fmt.Errorf("core: cost-driven skew (iter %d): %w", iter, err)
 			}
-			asg, err = runAssign(c, cfg, arr, res.FFCells, sched)
+			asg, err = runAssign(c, cfg, arr, res.FFCells, sched, tapCache)
 			if err != nil {
 				return nil, fmt.Errorf("core: assignment (iter %d): %w", iter, err)
 			}
@@ -344,12 +354,12 @@ func seqPairs(c *netlist.Circuit, m timing.Model, ffIdx map[int]int) ([]skew.Seq
 }
 
 // runAssign builds and solves the stage-3 assignment problem.
-func runAssign(c *netlist.Circuit, cfg Config, arr *rotary.Array, ffCells []int, sched []float64) (*assign.Assignment, error) {
+func runAssign(c *netlist.Circuit, cfg Config, arr *rotary.Array, ffCells []int, sched []float64, cache *assign.TapCache) (*assign.Assignment, error) {
 	ffs := make([]assign.FF, len(ffCells))
 	for i, id := range ffCells {
 		ffs[i] = assign.FF{Cell: id, Pos: c.Cells[id].Pos, Target: sched[i]}
 	}
-	p := &assign.Problem{Array: arr, FFs: ffs, K: cfg.K}
+	p := &assign.Problem{Array: arr, FFs: ffs, K: cfg.K, Parallelism: cfg.Parallelism, Cache: cache}
 	if cfg.Assigner == ILP {
 		a, _, err := assign.MinMaxCap(p)
 		return a, err

@@ -19,6 +19,7 @@ import (
 	"rotaryclk/internal/geom"
 	"rotaryclk/internal/lp"
 	"rotaryclk/internal/netlist"
+	"rotaryclk/internal/par"
 	"rotaryclk/internal/placer"
 	"rotaryclk/internal/rotary"
 	"rotaryclk/internal/timing"
@@ -35,6 +36,10 @@ type Options struct {
 	ILPBudget time.Duration
 	// Circuits restricts the run to a subset of suite names (empty = all).
 	Circuits []string
+	// Parallelism bounds the workers running suite circuits (and, plumbed
+	// down, the per-flow kernels): 0 = GOMAXPROCS, 1 = serial. All results
+	// except the reported CPU seconds are identical for every value.
+	Parallelism int
 }
 
 func (o *Options) normalize() {
@@ -83,62 +88,90 @@ type CircuitRun struct {
 	VarPairs []variation.Pair
 }
 
-// RunCircuit executes both flows on one benchmark circuit.
+// RunCircuit executes both flows on one benchmark circuit, using all cores.
 func RunCircuit(b bench.Circuit) (*CircuitRun, error) {
+	return runCircuit(b, 0)
+}
+
+// runCircuit executes the network-flow and ILP flows on one benchmark
+// circuit. The two flows operate on independently generated copies of the
+// netlist, so with more than one worker they run concurrently.
+func runCircuit(b bench.Circuit, parallelism int) (*CircuitRun, error) {
 	cr := &CircuitRun{Bench: b}
-
-	c1, err := b.Generate()
-	if err != nil {
-		return nil, err
-	}
-	cr.Stats = c1.Stats()
 	cfg := b.Config()
-	cr.Flow, err = core.Run(c1, cfg)
-	if err != nil {
-		return nil, fmt.Errorf("exp: %s network-flow run: %w", b.Name, err)
-	}
-	// Conventional clock-tree reference over the placed flip-flops, and the
-	// state the extension studies (variation, local trees) need.
-	ffIdx := make(map[int]int, len(cr.Flow.FFCells))
-	for i, id := range cr.Flow.FFCells {
-		cr.FFPos = append(cr.FFPos, c1.Cells[id].Pos)
-		ffIdx[id] = i
-	}
-	// PL reference: the exact zero-skew DME tree (the construction style of
-	// the paper's [5]/[7]); in a zero-skew tree every source-sink path has
-	// the same length.
-	cr.TreePL = clocktree.ZSAvgSourceSinkPath(clocktree.BuildDME(cr.FFPos))
-	if sta, err := timing.Analyze(c1, timing.DefaultModel()); err == nil {
-		for _, p := range sta.Pairs {
-			if p.From != p.To {
-				cr.VarPairs = append(cr.VarPairs, variation.Pair{A: ffIdx[p.From], B: ffIdx[p.To]})
-			}
-		}
-	}
+	cfg.Parallelism = parallelism
 
-	c2, err := b.Generate()
-	if err != nil {
-		return nil, err
+	var flowErr, ilpErr error
+	par.Do(par.Workers(parallelism),
+		func() {
+			c1, err := b.Generate()
+			if err != nil {
+				flowErr = err
+				return
+			}
+			cr.Stats = c1.Stats()
+			cr.Flow, err = core.Run(c1, cfg)
+			if err != nil {
+				flowErr = fmt.Errorf("exp: %s network-flow run: %w", b.Name, err)
+				return
+			}
+			// Conventional clock-tree reference over the placed flip-flops,
+			// and the state the extension studies (variation, local trees)
+			// need.
+			ffIdx := make(map[int]int, len(cr.Flow.FFCells))
+			for i, id := range cr.Flow.FFCells {
+				cr.FFPos = append(cr.FFPos, c1.Cells[id].Pos)
+				ffIdx[id] = i
+			}
+			// PL reference: the exact zero-skew DME tree (the construction
+			// style of the paper's [5]/[7]); in a zero-skew tree every
+			// source-sink path has the same length.
+			cr.TreePL = clocktree.ZSAvgSourceSinkPath(clocktree.BuildDME(cr.FFPos))
+			if sta, err := timing.Analyze(c1, timing.DefaultModel()); err == nil {
+				for _, p := range sta.Pairs {
+					if p.From != p.To {
+						cr.VarPairs = append(cr.VarPairs, variation.Pair{A: ffIdx[p.From], B: ffIdx[p.To]})
+					}
+				}
+			}
+		},
+		func() {
+			c2, err := b.Generate()
+			if err != nil {
+				ilpErr = err
+				return
+			}
+			cfgILP := cfg
+			cfgILP.Assigner = core.ILP
+			cr.ILPFlow, err = core.Run(c2, cfgILP)
+			if err != nil {
+				ilpErr = fmt.Errorf("exp: %s ILP run: %w", b.Name, err)
+			}
+		})
+	if flowErr != nil {
+		return nil, flowErr
 	}
-	cfgILP := cfg
-	cfgILP.Assigner = core.ILP
-	cr.ILPFlow, err = core.Run(c2, cfgILP)
-	if err != nil {
-		return nil, fmt.Errorf("exp: %s ILP run: %w", b.Name, err)
+	if ilpErr != nil {
+		return nil, ilpErr
 	}
 	return cr, nil
 }
 
-// RunAll executes both flows on the whole (scaled) suite.
+// RunAll executes both flows on the whole (scaled) suite, circuits in
+// parallel. The output order (and every result value) matches the serial
+// run; on error, the error of the earliest failing circuit is returned.
 func RunAll(opt Options) ([]*CircuitRun, error) {
 	opt.normalize()
-	var out []*CircuitRun
-	for _, b := range opt.suite() {
-		cr, err := RunCircuit(b)
+	suite := opt.suite()
+	out := make([]*CircuitRun, len(suite))
+	errs := make([]error, len(suite))
+	par.For(opt.Parallelism, len(suite), func(i int) {
+		out[i], errs[i] = runCircuit(suite[i], opt.Parallelism)
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, cr)
 	}
 	return out, nil
 }
@@ -159,29 +192,38 @@ type RowI struct {
 // TableI runs the min-max-capacitance assignment with greedy rounding and
 // with the generic branch-and-bound ILP solver under a budget, on each
 // circuit's initial placement and schedule (the protocol of Section VI).
+// Circuits run in parallel; every column except the CPU seconds is
+// independent of the worker count.
 func TableI(opt Options) ([]RowI, error) {
 	opt.normalize()
-	var rows []RowI
-	for _, b := range opt.suite() {
+	suite := opt.suite()
+	rows := make([]RowI, len(suite))
+	errs := make([]error, len(suite))
+	par.For(opt.Parallelism, len(suite), func(i int) {
+		b := suite[i]
 		c, err := b.Generate()
 		if err != nil {
-			return nil, err
+			errs[i] = err
+			return
 		}
-		prob, err := assignProblem(c, b)
+		prob, err := assignProblem(c, b, opt.Parallelism)
 		if err != nil {
-			return nil, err
+			errs[i] = err
+			return
 		}
 		t0 := time.Now()
 		_, rel, err := assign.MinMaxCap(prob)
 		if err != nil {
-			return nil, fmt.Errorf("exp: %s greedy rounding: %w", b.Name, err)
+			errs[i] = fmt.Errorf("exp: %s greedy rounding: %w", b.Name, err)
+			return
 		}
 		greedyCPU := time.Since(t0).Seconds()
 
 		t0 = time.Now()
 		ilpA, ilpSol, err := assign.MinMaxCapILP(prob, lp.ILPOptions{TimeLimit: opt.ILPBudget})
 		if err != nil {
-			return nil, fmt.Errorf("exp: %s ILP baseline: %w", b.Name, err)
+			errs[i] = fmt.Errorf("exp: %s ILP baseline: %w", b.Name, err)
+			return
 		}
 		ilpCPU := time.Since(t0).Seconds()
 		row := RowI{
@@ -197,22 +239,27 @@ func TableI(opt Options) ([]RowI, error) {
 		} else {
 			row.ILPNoSol = true
 		}
-		rows = append(rows, row)
+		rows[i] = row
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return rows, nil
 }
 
 // assignProblem builds the stage-3 assignment instance from a fresh initial
 // placement and max-slack schedule (the state in which Table I is measured).
-func assignProblem(c *netlist.Circuit, b bench.Circuit) (*assign.Problem, error) {
-	if err := placer.Global(c, placer.Options{}); err != nil {
+func assignProblem(c *netlist.Circuit, b bench.Circuit, parallelism int) (*assign.Problem, error) {
+	if err := placer.Global(c, placer.Options{Parallelism: parallelism}); err != nil {
 		return nil, err
 	}
 	if err := placer.Legalize(c); err != nil {
 		return nil, err
 	}
 	res, err := core.Run(c, core.Config{
-		NumRings: b.Rings, MaxIters: 1, SkipInitialPlace: true,
+		NumRings: b.Rings, MaxIters: 1, SkipInitialPlace: true, Parallelism: parallelism,
 	})
 	if err != nil {
 		return nil, err
@@ -221,7 +268,7 @@ func assignProblem(c *netlist.Circuit, b bench.Circuit) (*assign.Problem, error)
 	for i, id := range res.FFCells {
 		ffs[i] = assign.FF{Cell: id, Pos: c.Cells[id].Pos, Target: res.Schedule[i]}
 	}
-	return &assign.Problem{Array: res.Array, FFs: ffs}, nil
+	return &assign.Problem{Array: res.Array, FFs: ffs, Parallelism: parallelism}, nil
 }
 
 // RowII is one row of Table II: benchmark characteristics.

@@ -13,9 +13,11 @@ package placer
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"rotaryclk/internal/geom"
 	"rotaryclk/internal/netlist"
+	"rotaryclk/internal/par"
 )
 
 // PseudoNet pulls one cell toward a fixed target point with the given
@@ -46,6 +48,11 @@ type Options struct {
 	// CGTol and CGMaxIter control the linear solver (defaults 1e-6, 600).
 	CGTol     float64
 	CGMaxIter int
+	// Parallelism bounds the worker count of the CG kernels and the
+	// concurrent x/y-axis solves: 0 = GOMAXPROCS, 1 = serial (no
+	// goroutines). Results are bit-identical for every value — chunk
+	// boundaries and reduction order are fixed (see internal/par).
+	Parallelism int
 }
 
 func (o *Options) normalize(movable int) {
@@ -197,84 +204,148 @@ func buildSystem(c *netlist.Circuit, opt *Options) (*system, map[int]int) {
 	return s, idx
 }
 
-// solve runs Jacobi-preconditioned CG for both dimensions, starting from the
-// current positions, and leaves the solutions in posX/posY.
-func (s *system) solve(tol float64, maxIter int) {
-	s.cg(s.posX, s.bx, tol, maxIter)
-	s.cg(s.posY, s.by, tol, maxIter)
+// Kernel grains: chunk sizes of the parallel CG primitives. They are fixed
+// constants (never derived from the worker count) so that the floating-point
+// reduction order — and therefore every solved position — is bit-identical
+// no matter how many workers run the chunks. Systems smaller than one grain
+// reduce in exactly the seed's serial order.
+const (
+	mulGrain = 256  // matrix rows per mulvec chunk
+	vecGrain = 4096 // elements per vector-op / dot-product chunk
+)
+
+// cgScratch holds the four CG work vectors of one axis, reused across solves
+// (and, via wsPool, across Global/Incremental calls) instead of being
+// reallocated per solve.
+type cgScratch struct {
+	r, z, p, ap []float64
 }
 
-// mulvec computes out = A*v for the Laplacian-plus-diagonal system.
-func (s *system) mulvec(v, out []float64) {
-	for i := 0; i < s.n; i++ {
-		acc := s.diag[i] * v[i]
-		nb := s.nbr[i]
-		wv := s.nbrW[i]
-		for k, j := range nb {
-			acc -= wv[k] * v[j]
-		}
-		out[i] = acc
+func (w *cgScratch) ensure(n int) {
+	if cap(w.r) < n {
+		w.r = make([]float64, n)
+		w.z = make([]float64, n)
+		w.p = make([]float64, n)
+		w.ap = make([]float64, n)
 	}
+	w.r, w.z, w.p, w.ap = w.r[:n], w.z[:n], w.p[:n], w.ap[:n]
 }
 
-func (s *system) cg(x, b []float64, tol float64, maxIter int) {
+// solveWS is the per-solve workspace: one CG scratch per axis, because the
+// two axes may run concurrently.
+type solveWS struct {
+	x, y cgScratch
+}
+
+// wsPool recycles solve workspaces across Global/Incremental calls. Every
+// scratch element is fully written before it is read, so reuse cannot leak
+// state between solves.
+var wsPool = sync.Pool{New: func() any { return new(solveWS) }}
+
+// solve runs Jacobi-preconditioned CG for both dimensions, starting from the
+// current positions, and leaves the solutions in posX/posY. The x and y
+// systems share the (read-only) matrix but nothing else, so with more than
+// one worker they solve concurrently, splitting the worker budget.
+func (s *system) solve(tol float64, maxIter, workers int, ws *solveWS) {
+	if workers > 1 {
+		half := workers / 2
+		par.Do(workers,
+			func() { s.cg(s.posX, s.bx, tol, maxIter, half, &ws.x) },
+			func() { s.cg(s.posY, s.by, tol, maxIter, workers-half, &ws.y) })
+		return
+	}
+	s.cg(s.posX, s.bx, tol, maxIter, 1, &ws.x)
+	s.cg(s.posY, s.by, tol, maxIter, 1, &ws.y)
+}
+
+// mulvec computes out = A*v for the Laplacian-plus-diagonal system. Rows are
+// independent, so chunked execution is deterministic for any worker count.
+func (s *system) mulvec(v, out []float64, workers int) {
+	par.Chunks(workers, s.n, mulGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			acc := s.diag[i] * v[i]
+			nb := s.nbr[i]
+			wv := s.nbrW[i]
+			for k, j := range nb {
+				acc -= wv[k] * v[j]
+			}
+			out[i] = acc
+		}
+	})
+}
+
+func addF(a, b float64) float64 { return a + b }
+
+// dot is the fixed-chunk parallel dot product: partial sums per vecGrain
+// chunk, merged in chunk order (bit-identical for every worker count).
+func dot(a, b []float64, workers int) float64 {
+	return par.MapReduce(workers, len(a), vecGrain, func(lo, hi int) float64 {
+		acc := 0.0
+		for i := lo; i < hi; i++ {
+			acc += a[i] * b[i]
+		}
+		return acc
+	}, addF)
+}
+
+func (s *system) cg(x, b []float64, tol float64, maxIter, workers int, ws *cgScratch) {
 	n := s.n
 	if n == 0 {
 		return
 	}
-	r := make([]float64, n)
-	z := make([]float64, n)
-	p := make([]float64, n)
-	ap := make([]float64, n)
-	s.mulvec(x, r)
-	for i := range r {
-		r[i] = b[i] - r[i]
-	}
-	bnorm := 0.0
-	for _, v := range b {
-		bnorm += v * v
-	}
-	bnorm = math.Sqrt(bnorm)
+	ws.ensure(n)
+	r, z, p, ap := ws.r, ws.z, ws.p, ws.ap
+	s.mulvec(x, r, workers)
+	par.Chunks(workers, n, vecGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			r[i] = b[i] - r[i]
+		}
+	})
+	bnorm := math.Sqrt(dot(b, b, workers))
 	if bnorm == 0 {
 		bnorm = 1
 	}
-	var rz float64
-	for i := range r {
-		z[i] = r[i] / s.diag[i]
-		p[i] = z[i]
-		rz += r[i] * z[i]
-	}
-	for iter := 0; iter < maxIter; iter++ {
-		rn := 0.0
-		for _, v := range r {
-			rn += v * v
+	rz := par.MapReduce(workers, n, vecGrain, func(lo, hi int) float64 {
+		acc := 0.0
+		for i := lo; i < hi; i++ {
+			z[i] = r[i] / s.diag[i]
+			p[i] = z[i]
+			acc += r[i] * z[i]
 		}
+		return acc
+	}, addF)
+	for iter := 0; iter < maxIter; iter++ {
+		rn := dot(r, r, workers)
 		if math.Sqrt(rn) <= tol*bnorm {
 			return
 		}
-		s.mulvec(p, ap)
-		var pap float64
-		for i := range p {
-			pap += p[i] * ap[i]
-		}
+		s.mulvec(p, ap, workers)
+		pap := dot(p, ap, workers)
 		if pap <= 0 {
 			return // numerical breakdown; current x is best effort
 		}
 		alpha := rz / pap
-		for i := range x {
-			x[i] += alpha * p[i]
-			r[i] -= alpha * ap[i]
-		}
-		var rzNew float64
-		for i := range r {
-			z[i] = r[i] / s.diag[i]
-			rzNew += r[i] * z[i]
-		}
+		par.Chunks(workers, n, vecGrain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				x[i] += alpha * p[i]
+				r[i] -= alpha * ap[i]
+			}
+		})
+		rzNew := par.MapReduce(workers, n, vecGrain, func(lo, hi int) float64 {
+			acc := 0.0
+			for i := lo; i < hi; i++ {
+				z[i] = r[i] / s.diag[i]
+				acc += r[i] * z[i]
+			}
+			return acc
+		}, addF)
 		beta := rzNew / rz
 		rz = rzNew
-		for i := range p {
-			p[i] = z[i] + beta*p[i]
-		}
+		par.Chunks(workers, n, vecGrain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				p[i] = z[i] + beta*p[i]
+			}
+		})
 	}
 }
 

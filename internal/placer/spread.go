@@ -5,6 +5,7 @@ import (
 
 	"rotaryclk/internal/geom"
 	"rotaryclk/internal/netlist"
+	"rotaryclk/internal/par"
 )
 
 // Global runs global placement: an initial quadratic solve followed by
@@ -19,8 +20,11 @@ func Global(c *netlist.Circuit, opt Options) error {
 	if c.NumMovable() == 0 {
 		return nil
 	}
+	workers := par.Workers(opt.Parallelism)
+	ws := wsPool.Get().(*solveWS)
+	defer wsPool.Put(ws)
 	sys, _ := buildSystem(c, &opt)
-	sys.solve(opt.CGTol, opt.CGMaxIter)
+	sys.solve(opt.CGTol, opt.CGMaxIter, workers, ws)
 	sys.writeBack(c)
 
 	for iter := 1; iter <= opt.SpreadIters; iter++ {
@@ -35,7 +39,7 @@ func Global(c *netlist.Circuit, opt Options) error {
 			o2.PseudoNets[len(opt.PseudoNets)+i].Weight *= w
 		}
 		sys, _ = buildSystem(c, &o2)
-		sys.solve(opt.CGTol, opt.CGMaxIter)
+		sys.solve(opt.CGTol, opt.CGMaxIter, workers, ws)
 		sys.writeBack(c)
 	}
 	return nil
@@ -57,8 +61,11 @@ func Incremental(c *netlist.Circuit, opt Options) error {
 	if opt.AnchorWeight <= 0 {
 		opt.AnchorWeight = 6.0
 	}
+	workers := par.Workers(opt.Parallelism)
+	ws := wsPool.Get().(*solveWS)
+	defer wsPool.Put(ws)
 	sys, _ := buildSystem(c, &opt)
-	sys.solve(opt.CGTol, opt.CGMaxIter)
+	sys.solve(opt.CGTol, opt.CGMaxIter, workers, ws)
 	sys.writeBack(c)
 	if len(opt.PseudoNets) == 0 {
 		return nil // pure stability re-solve; nothing piled up
@@ -81,7 +88,7 @@ func Incremental(c *netlist.Circuit, opt Options) error {
 		}
 	}
 	sys, _ = buildSystem(c, &o2)
-	sys.solve(opt.CGTol, opt.CGMaxIter)
+	sys.solve(opt.CGTol, opt.CGMaxIter, workers, ws)
 	sys.writeBack(c)
 	return nil
 }
@@ -114,8 +121,11 @@ func equalize(c *netlist.Circuit, bins int) []PseudoNet {
 
 // shiftAxis remaps the primary coordinate of every cell through its
 // stripe's cumulative-utilization map. xAxis selects remapping x within
-// horizontal stripes (stripes indexed by y).
-func shiftAxis(ids []int, c *netlist.Circuit, bins int, xAxis bool) map[int]float64 {
+// horizontal stripes (stripes indexed by y). The result is a dense slice
+// indexed by cell ID (entries of cells not in ids keep the sentinel NaN):
+// a map here would invite nondeterministic ranging, which the parallel
+// determinism guarantees forbid.
+func shiftAxis(ids []int, c *netlist.Circuit, bins int, xAxis bool) []float64 {
 	die := c.Die
 	priLo, priHi := die.Lo.X, die.Hi.X
 	secLo, secHi := die.Lo.Y, die.Hi.Y
@@ -150,7 +160,10 @@ func shiftAxis(ids []int, c *netlist.Circuit, bins int, xAxis bool) map[int]floa
 		stripes[s] = append(stripes[s], id)
 	}
 
-	out := make(map[int]float64, len(ids))
+	out := make([]float64, len(c.Cells))
+	for i := range out {
+		out[i] = math.NaN()
+	}
 	binW := priSpan / float64(bins)
 	// Partial equalization: new = blend*mapped + (1-blend)*old.
 	const blend = 0.8
@@ -203,9 +216,9 @@ func shiftAxis(ids []int, c *netlist.Circuit, bins int, xAxis bool) map[int]floa
 			out[id] = blend*mapped + (1-blend)*old
 		}
 	}
-	// Cells in empty stripes (none: every cell belongs to its stripe).
+	// Cells whose stripe carried zero utilization keep their position.
 	for _, id := range ids {
-		if _, ok := out[id]; !ok {
+		if math.IsNaN(out[id]) {
 			out[id] = pri(id)
 		}
 	}

@@ -1,0 +1,57 @@
+#!/bin/sh
+# CI entry points for the repo: test, race, bench.
+#
+#   scripts/ci.sh test    go build + go test over every package (tier-1 gate)
+#   scripts/ci.sh race    go test -race over every package (parallel kernels)
+#   scripts/ci.sh bench   run the benchmark suite with -benchmem and record
+#                         it as BENCH_baseline.json so future PRs have a
+#                         perf trajectory to compare against
+#
+# BENCHTIME overrides the bench sampling (default 1x: one timed iteration
+# per benchmark keeps the whole suite under a couple of minutes; use e.g.
+# BENCHTIME=2s for publication-grade numbers).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cmd="${1:-test}"
+
+case "$cmd" in
+test)
+    go build ./...
+    go test ./...
+    ;;
+race)
+    go test -race ./...
+    ;;
+bench)
+    benchtime="${BENCHTIME:-1x}"
+    out="${BENCH_OUT:-BENCH_baseline.json}"
+    raw="$(mktemp)"
+    trap 'rm -f "$raw"' EXIT
+    go test -run='^$' -bench . -benchmem -benchtime "$benchtime" ./... | tee "$raw"
+    # Convert `go test -bench` lines into a JSON array so the baseline is
+    # machine-readable: one object per benchmark with ns/op, B/op,
+    # allocs/op, and any custom metrics.
+    awk -v benchtime="$benchtime" '
+        BEGIN { print "[" }
+        /^Benchmark/ {
+            name = $1; iters = $2
+            line = sep "  {\"name\": \"" name "\", \"iterations\": " iters
+            for (i = 3; i < NF; i += 2) {
+                unit = $(i + 1)
+                gsub(/"/, "", unit)
+                line = line ", \"" unit "\": " $i
+            }
+            print line "}"
+            sep = ","
+        }
+        END { print "]" }
+    ' "$raw" > "$out"
+    echo "wrote $out (benchtime $benchtime)"
+    ;;
+*)
+    echo "usage: scripts/ci.sh {test|race|bench}" >&2
+    exit 2
+    ;;
+esac
