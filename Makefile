@@ -1,12 +1,16 @@
-# Tier-1 gate, race gate, and benchmark baseline. See scripts/ci.sh.
+# Tier-1 gate, race gate, fuzz smoke, and benchmark baseline.
+# See scripts/ci.sh.
 
-.PHONY: test race bench
+.PHONY: test race fuzz bench
 
 test:
 	sh scripts/ci.sh test
 
 race:
 	sh scripts/ci.sh race
+
+fuzz:
+	sh scripts/ci.sh fuzz
 
 bench:
 	sh scripts/ci.sh bench

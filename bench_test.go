@@ -499,7 +499,9 @@ func BenchmarkMCMFRandom(b *testing.B) {
 			}
 			g.AddArc(u, v, 1+rng.Intn(4), float64(rng.Intn(50)))
 		}
-		g.MinCostMaxFlow(0, 199)
+		if _, _, err := g.MinCostMaxFlow(0, 199); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -51,6 +52,7 @@ func main() {
 		iters     = flag.Int("iters", 5, "max stage 3-6 iterations")
 		svgOut    = flag.String("svg", "", "write the final placement + rings + taps as SVG to this file")
 		jobs      = flag.Int("j", 0, "parallel workers for the flow kernels (0 = all cores, 1 = serial; results identical)")
+		strict    = flag.Bool("strict", false, "fail on the first stage error instead of recovering/degrading")
 	)
 	flag.Parse()
 
@@ -61,6 +63,7 @@ func main() {
 	}
 	cfg.MaxIters = *iters
 	cfg.Parallelism = *jobs
+	cfg.Strict = *strict
 	switch *assigner {
 	case "flow":
 	case "ilp":
@@ -85,7 +88,17 @@ func main() {
 	res, err := core.Run(c, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rotaryflow:", err)
+		var se *core.StageError
+		if errors.As(err, &se) {
+			fmt.Fprintf(os.Stderr, "rotaryflow: failure kind: %s (stage %d)\n", se.Kind, se.Stage)
+		}
 		os.Exit(1)
+	}
+	for _, ev := range res.Events {
+		fmt.Fprintln(os.Stderr, "rotaryflow: recovery:", ev)
+	}
+	if res.Degraded {
+		fmt.Fprintln(os.Stderr, "rotaryflow: DEGRADED result: re-optimization stopped early; metrics are the best snapshot reached")
 	}
 	if err := core.Audit(c, cfg, res); err != nil {
 		fmt.Fprintln(os.Stderr, "rotaryflow: AUDIT FAILED:", err)

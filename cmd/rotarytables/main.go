@@ -27,10 +27,11 @@ func main() {
 		subset = flag.String("circuits", "", "comma-separated circuit subset (default: all five)")
 		tables = flag.String("tables", "I,II,III,IV,V,VI,VII,Fig2,Var,Trees,Rings", "comma-separated tables to regenerate (Var/Trees/Rings are the extension studies)")
 		jobs   = flag.Int("j", 0, "parallel workers across circuits and kernels (0 = all cores, 1 = serial; identical tables either way)")
+		strict = flag.Bool("strict", false, "fail on the first flow stage error instead of recovering/degrading")
 	)
 	flag.Parse()
 
-	opt := exp.Options{Scale: *scale, ILPBudget: *budget, Parallelism: *jobs}
+	opt := exp.Options{Scale: *scale, ILPBudget: *budget, Parallelism: *jobs, Strict: *strict}
 	if *subset != "" {
 		opt.Circuits = strings.Split(*subset, ",")
 	}

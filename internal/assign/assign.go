@@ -13,16 +13,24 @@
 package assign
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
 
+	"rotaryclk/internal/faultinject"
 	"rotaryclk/internal/geom"
 	"rotaryclk/internal/lp"
 	"rotaryclk/internal/mcmf"
 	"rotaryclk/internal/par"
 	"rotaryclk/internal/rotary"
 )
+
+// ErrInfeasible marks assignment failures that stem from the instance, not
+// from bad input: a flip-flop with no reachable ring, or capacities that
+// cannot host every flip-flop. Callers match it with errors.Is to drive
+// recovery (widen K, relax capacity, enable TapFallback).
+var ErrInfeasible = errors.New("assign: infeasible")
 
 // FF is one flip-flop to assign: its cell ID, placed location, and the clock
 // delay target produced by skew optimization.
@@ -55,6 +63,13 @@ type Problem struct {
 	// flow's re-optimization loop stops re-solving unchanged flip-flops.
 	// Must be dedicated to this problem's Array (see TapCache).
 	Cache *TapCache
+	// TapFallback, when set, keeps a flip-flop whose every candidate tapping
+	// solve failed in the problem by tapping the nearest point of its nearest
+	// ring instead of erroring. The fallback tap does not realize the skew
+	// target; its FF index is reported in Assignment.Fallbacks so callers can
+	// account for the penalty. This is the flow's last-resort recovery, off
+	// by default.
+	TapFallback bool
 }
 
 // Assignment is the result of any of the assigners.
@@ -65,6 +80,9 @@ type Assignment struct {
 	MaxCap  float64      // maximum ring load capacitance (fF)
 	Loads   []float64    // per ring load capacitance (fF)
 	AvgDist float64      // average flip-flop tapping distance (AFD, um)
+	// Fallbacks lists FF indices tapped via the nearest-point fallback
+	// (Problem.TapFallback); their taps do not realize the skew target.
+	Fallbacks []int
 }
 
 func (p *Problem) normalize() error {
@@ -97,17 +115,18 @@ func (p *Problem) normalize() error {
 		total += u
 	}
 	if total < len(p.FFs) {
-		return fmt.Errorf("assign: total ring capacity %d below %d flip-flops", total, len(p.FFs))
+		return fmt.Errorf("assign: total ring capacity %d below %d flip-flops: %w", total, len(p.FFs), ErrInfeasible)
 	}
 	return nil
 }
 
 // candidate holds one feasible (flip-flop, ring) arc.
 type candidate struct {
-	ring int
-	tap  rotary.Tap
-	cost float64 // tapping wirelength
-	cap  float64 // load capacitance C_p^{ij}
+	ring     int
+	tap      rotary.Tap
+	cost     float64 // tapping wirelength
+	cap      float64 // load capacitance C_p^{ij}
+	fallback bool    // nearest-point tap; does not realize the skew target
 }
 
 // solveTap solves (or cache-looks-up) the tapping point of one candidate arc.
@@ -124,6 +143,9 @@ func (p *Problem) solveTap(ring int, pos geom.Point, target float64) (rotary.Tap
 // Flip-flops are independent, so the matrix builds in parallel (each worker
 // writes only its own rows); the output is identical for every worker count.
 func (p *Problem) candidates() ([][]candidate, error) {
+	if err := faultinject.Hook(faultinject.SiteAssignCandidates); err != nil {
+		return nil, err
+	}
 	out := make([][]candidate, len(p.FFs))
 	errs := make([]error, len(p.FFs))
 	params := p.Array.Params
@@ -143,8 +165,13 @@ func (p *Problem) candidates() ([][]candidate, error) {
 				cap:  params.StubCap(tap.WireLen),
 			})
 		}
+		if len(all) == 0 && p.TapFallback && len(rings) > 0 {
+			if c, ok := p.fallbackCandidate(rings[0], ff.Pos); ok {
+				all = append(all, c)
+			}
+		}
 		if len(all) == 0 {
-			errs[i] = fmt.Errorf("assign: flip-flop %d (cell %d) has no feasible ring", i, p.FFs[i].Cell)
+			errs[i] = fmt.Errorf("assign: flip-flop %d (cell %d) has no feasible ring: %w", i, p.FFs[i].Cell, ErrInfeasible)
 			return
 		}
 		sort.SliceStable(all, func(a, b int) bool { return all[a].cost < all[b].cost })
@@ -168,6 +195,20 @@ func (p *Problem) candidates() ([][]candidate, error) {
 	return out, nil
 }
 
+// fallbackCandidate taps the nearest point of ring j with a direct stub; the
+// realized delay is whatever the ring provides there, not the skew target.
+func (p *Problem) fallbackCandidate(j int, pos geom.Point) (candidate, bool) {
+	r := p.Array.Rings[j]
+	s, pt, dist := r.Nearest(pos)
+	if math.IsNaN(dist) || math.IsInf(dist, 0) {
+		return candidate{}, false
+	}
+	prm := p.Array.Params
+	d := math.Mod(r.DelayAt(s, prm.Period)+prm.StubDelay(dist), prm.Period)
+	tap := rotary.Tap{Ring: j, Point: pt, WireLen: dist, Delay: d}
+	return candidate{ring: j, tap: tap, cost: dist, cap: prm.StubCap(dist), fallback: true}, true
+}
+
 // finish assembles an Assignment from per-FF choices.
 func (p *Problem) finish(choice []candidate) *Assignment {
 	a := &Assignment{
@@ -180,6 +221,9 @@ func (p *Problem) finish(choice []candidate) *Assignment {
 		a.Taps[i] = c.tap
 		a.Total += c.cost
 		a.Loads[c.ring] += c.cap
+		if c.fallback {
+			a.Fallbacks = append(a.Fallbacks, i)
+		}
 	}
 	for _, l := range a.Loads {
 		if l > a.MaxCap {
@@ -195,6 +239,9 @@ func (p *Problem) finish(choice []candidate) *Assignment {
 // exactly Fig. 4: source -> flip-flops (cap 1) -> candidate rings (cap 1,
 // cost c_ij) -> target (cap U_j).
 func MinCost(p *Problem) (*Assignment, error) {
+	if err := faultinject.Hook(faultinject.SiteAssignMinCost); err != nil {
+		return nil, err
+	}
 	if err := p.normalize(); err != nil {
 		return nil, err
 	}
@@ -220,9 +267,12 @@ func MinCost(p *Problem) (*Assignment, error) {
 	for j := 0; j < nR; j++ {
 		g.AddArc(ringNode(j), t, p.Capacity[j], 0)
 	}
-	flow, _ := g.MinCostMaxFlow(s, t)
+	flow, _, err := g.MinCostMaxFlow(s, t)
+	if err != nil {
+		return nil, fmt.Errorf("assign: flow solve: %w", err)
+	}
 	if flow < nFF {
-		return nil, fmt.Errorf("assign: only %d of %d flip-flops assignable under capacities (increase K or capacity)", flow, nFF)
+		return nil, fmt.Errorf("assign: only %d of %d flip-flops assignable under capacities (increase K or capacity): %w", flow, nFF, ErrInfeasible)
 	}
 	choice := make([]candidate, nFF)
 	for i, cs := range cands {
@@ -253,6 +303,9 @@ type Relax struct {
 // rounding (Fig. 5): minimize the maximum load capacitance over rings, no
 // capacity constraints, each flip-flop on exactly one ring.
 func MinMaxCap(p *Problem) (*Assignment, *Relax, error) {
+	if err := faultinject.Hook(faultinject.SiteAssignMinMaxCap); err != nil {
+		return nil, nil, err
+	}
 	if err := p.normalize(); err != nil {
 		return nil, nil, err
 	}
@@ -266,6 +319,9 @@ func MinMaxCap(p *Problem) (*Assignment, *Relax, error) {
 		return nil, nil, err
 	}
 	if sol.Status != lp.Optimal {
+		if sol.BudgetExceeded() {
+			return nil, nil, fmt.Errorf("assign: LP relaxation %v: %w", sol.Status, lp.ErrBudget)
+		}
 		return nil, nil, fmt.Errorf("assign: LP relaxation %v", sol.Status)
 	}
 	choice := greedyRound(cands, vars, sol.X)

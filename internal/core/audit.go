@@ -41,13 +41,22 @@ func Audit(c *netlist.Circuit, cfg Config, res *Result) error {
 		return fmt.Errorf("core: audit: placement has overlap area %v", ov)
 	}
 
-	// 2. Taps realize the schedule.
+	// 2. Taps realize the schedule. Fallback taps (nearest-point recovery)
+	// are exempt from the realization check by design — they trade the skew
+	// target for feasibility — but must still sit on their ring.
+	fallback := make(map[int]bool, len(res.Assign.Fallbacks))
+	for _, i := range res.Assign.Fallbacks {
+		fallback[i] = true
+	}
 	T := cfg.Params.Period
 	for i, tap := range res.Assign.Taps {
 		ring := res.Array.Rings[res.Assign.Ring[i]]
 		if _, _, d := ring.Nearest(tap.Point); d > 1e-6 {
 			return fmt.Errorf("core: audit: ff %d tap point %v is %v um off ring %d",
 				i, tap.Point, d, ring.ID)
+		}
+		if fallback[i] {
+			continue
 		}
 		diff := math.Mod(tap.Delay-res.Schedule[i], T)
 		if diff < 0 {

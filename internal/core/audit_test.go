@@ -79,7 +79,11 @@ func TestAuditCatchesCorruption(t *testing.T) {
 	t.Run("overlapping-cells", func(t *testing.T) {
 		// Mutate the circuit: stack one movable cell onto another.
 		pos := c.Positions()
-		defer c.SetPositions(pos)
+		defer func() {
+			if err := c.SetPositions(pos); err != nil {
+				t.Fatal(err)
+			}
+		}()
 		var first = -1
 		for _, cell := range c.Cells {
 			if cell.Fixed {

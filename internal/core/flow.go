@@ -14,6 +14,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"time"
@@ -73,6 +74,15 @@ type Config struct {
 	ConvergeTol  float64 // relative cost improvement to keep iterating (default 0.01)
 
 	SkipInitialPlace bool // reuse the circuit's existing placement
+
+	// Strict disables every recovery policy and the degraded-result path:
+	// the first stage failure returns immediately as a *StageError. With
+	// Strict off (the default) Run relaxes infeasible subproblems along
+	// documented ladders and, once the base case exists, turns later
+	// unrecoverable failures into a Degraded result carrying the best
+	// snapshot instead of an error. Every action taken either way is
+	// recorded in Result.Events.
+	Strict bool
 
 	// Parallelism bounds the worker count of the parallel kernels (placer
 	// CG, assignment candidate matrix): 0 = GOMAXPROCS, 1 = serial. Every
@@ -145,8 +155,23 @@ type Result struct {
 
 	WorkSlack float64 // slack margin the final schedule is feasible at, ps
 
+	// Degraded reports that the re-optimization loop stopped on an
+	// unrecoverable failure after the base case; the result then carries
+	// the best consistent snapshot reached, not a converged one. The
+	// triggering failure is the last Events entry.
+	Degraded bool
+	// Events logs, in order, every recovery and degradation action the
+	// flow took instead of failing (and warnings such as a skipped in-loop
+	// slack refresh). Empty on a clean run.
+	Events []StageEvent
+
 	PlaceSeconds float64 // CPU in placement stages (1 and 6)
 	OptSeconds   float64 // CPU in stages 2-5
+}
+
+// event appends a recovery/degradation record to the result log.
+func (r *Result) event(stage, iter int, kind Kind, action string, err error) {
+	r.Events = append(r.Events, StageEvent{Stage: stage, Iter: iter, Kind: kind, Action: action, Err: err})
 }
 
 // Run executes the integrated flow on the circuit (placement is written onto
@@ -154,32 +179,46 @@ type Result struct {
 func Run(c *netlist.Circuit, cfg Config) (*Result, error) {
 	cfg.normalize()
 	if err := c.Validate(); err != nil {
-		return nil, fmt.Errorf("core: invalid circuit: %w", err)
+		return nil, &StageError{Stage: 1, Kind: InvalidInput, Err: fmt.Errorf("invalid circuit: %w", err)}
 	}
 	res := &Result{FFCells: c.FlipFlops()}
 	n := len(res.FFCells)
 	if n == 0 {
-		return nil, fmt.Errorf("core: circuit %q has no flip-flops", c.Name)
+		return nil, &StageError{Stage: 1, Kind: InvalidInput, Err: fmt.Errorf("circuit %q has no flip-flops", c.Name)}
 	}
 	ffIdx := make(map[int]int, n)
 	for i, id := range res.FFCells {
 		ffIdx[id] = i
 	}
 
-	// Stage 1: initial placement.
+	// Stage 1: initial placement. Conjugate-gradients stagnation is the one
+	// recoverable failure here: the positions written back are a usable
+	// iterate, and one retry at a 100x looser tolerance almost always
+	// converges. Anything else in stage 1 is a hard error.
 	tPlace := time.Now()
 	if !cfg.SkipInitialPlace {
-		if err := placer.Global(c, placer.Options{Parallelism: cfg.Parallelism}); err != nil {
-			return nil, fmt.Errorf("core: global placement: %w", err)
+		err := placer.Global(c, placer.Options{Parallelism: cfg.Parallelism})
+		if err != nil && errors.Is(err, placer.ErrNonConverged) && !cfg.Strict {
+			res.event(1, 0, NonConverged, "retrying global placement at 100x looser CG tolerance", err)
+			err = placer.Global(c, placer.Options{Parallelism: cfg.Parallelism, CGTol: 1e-4})
+			if err != nil && errors.Is(err, placer.ErrNonConverged) {
+				// Both solves stagnated; the best-effort iterate is on the
+				// circuit and legalization makes it usable.
+				res.event(1, 0, NonConverged, "keeping best-effort placement from stagnated solve", err)
+				err = nil
+			}
+		}
+		if err != nil {
+			return nil, stageErr(1, 0, fmt.Errorf("global placement: %w", err))
 		}
 		if err := placer.Legalize(c); err != nil {
-			return nil, fmt.Errorf("core: legalization: %w", err)
+			return nil, stageErr(1, 0, fmt.Errorf("legalization: %w", err))
 		}
 		// Detailed refinement only on the initial placement: inside the
 		// loop, swap-based refinement would pull flip-flops off the tapping
 		// points the pseudo-nets just placed them at.
 		if _, err := placer.Detailed(c, 2); err != nil {
-			return nil, fmt.Errorf("core: detailed placement: %w", err)
+			return nil, stageErr(1, 0, fmt.Errorf("detailed placement: %w", err))
 		}
 	}
 	res.PlaceSeconds += time.Since(tPlace).Seconds()
@@ -187,19 +226,21 @@ func Run(c *netlist.Circuit, cfg Config) (*Result, error) {
 	// Rotary ring array over the die.
 	arr, err := rotary.SquareArray(c.Die, cfg.NumRings, cfg.RingFill, cfg.Params)
 	if err != nil {
-		return nil, fmt.Errorf("core: ring array: %w", err)
+		return nil, &StageError{Stage: 3, Kind: InvalidInput, Err: fmt.Errorf("ring array: %w", err)}
 	}
 	res.Array = arr
 
-	// Stage 2: max-slack skew optimization.
+	// Stage 2: max-slack skew optimization. No recovery ladder exists here:
+	// with nothing assigned yet there is no weaker schedule to fall back to,
+	// so an unsatisfiable constraint system is a hard (typed) failure.
 	tOpt := time.Now()
 	pairs, err := seqPairs(c, cfg.TModel, ffIdx)
 	if err != nil {
-		return nil, err
+		return nil, stageErr(2, 0, err)
 	}
 	M, sched, err := skew.MaxSlackExact(n, pairs, cfg.Params.Period, cfg.TModel.TSetup, cfg.TModel.THold)
 	if err != nil {
-		return nil, fmt.Errorf("core: max-slack skew optimization: %w", err)
+		return nil, stageErr(2, 0, fmt.Errorf("max-slack skew optimization: %w", err))
 	}
 	res.MaxSlack = M
 	res.Schedule = sched
@@ -210,9 +251,9 @@ func Run(c *netlist.Circuit, cfg Config) (*Result, error) {
 	// the next, so their candidate arcs come from the cache instead of
 	// being re-solved.
 	tapCache := assign.NewTapCache()
-	asg, err := runAssign(c, cfg, arr, res.FFCells, sched, tapCache)
+	asg, err := assignRecover(c, cfg, arr, res.FFCells, sched, tapCache, res, 0)
 	if err != nil {
-		return nil, err
+		return nil, stageErr(3, 0, err)
 	}
 	res.Assign = asg
 	res.OptSeconds += time.Since(tOpt).Seconds()
@@ -247,6 +288,19 @@ func Run(c *netlist.Circuit, cfg Config) (*Result, error) {
 	prevCost := cost(res.Base)
 	bestCost := prevCost
 	stall := 0
+	// fail handles an unrecoverable mid-loop failure: a hard StageError in
+	// strict mode, otherwise a degradation event. It returns the StageError
+	// to raise, or nil to degrade (caller breaks the loop).
+	fail := func(stage, iter int, err error) *StageError {
+		se := stageErr(stage, iter, err)
+		if cfg.Strict {
+			return se
+		}
+		res.event(stage, iter, se.Kind, "stopping re-optimization; keeping best snapshot", err)
+		res.Degraded = true
+		return nil
+	}
+loop:
 	for iter := 1; iter <= cfg.MaxIters; iter++ {
 		// Stage 6: pseudo-net incremental placement toward the current
 		// assignment's tapping points.
@@ -259,16 +313,34 @@ func Run(c *netlist.Circuit, cfg Config) (*Result, error) {
 				Weight: cfg.PseudoWeight * float64(iter),
 			})
 		}
-		if err := placer.Incremental(c, placer.Options{PseudoNets: pn, Parallelism: cfg.Parallelism}); err != nil {
-			return nil, fmt.Errorf("core: incremental placement (iter %d): %w", iter, err)
+		err := placer.Incremental(c, placer.Options{PseudoNets: pn, Parallelism: cfg.Parallelism})
+		if err != nil && errors.Is(err, placer.ErrNonConverged) && !cfg.Strict {
+			res.event(6, iter, NonConverged, "retrying incremental placement at 100x looser CG tolerance", err)
+			err = placer.Incremental(c, placer.Options{PseudoNets: pn, Parallelism: cfg.Parallelism, CGTol: 1e-4})
+			if err != nil && errors.Is(err, placer.ErrNonConverged) {
+				res.event(6, iter, NonConverged, "keeping best-effort placement from stagnated solve", err)
+				err = nil
+			}
+		}
+		if err != nil {
+			if se := fail(6, iter, fmt.Errorf("incremental placement: %w", err)); se != nil {
+				return nil, se
+			}
+			break loop
 		}
 		if err := placer.Legalize(c); err != nil {
-			return nil, fmt.Errorf("core: legalization (iter %d): %w", iter, err)
+			if se := fail(6, iter, fmt.Errorf("legalization: %w", err)); se != nil {
+				return nil, se
+			}
+			break loop
 		}
 		// Recover signal wirelength disturbed by the pull + legalization,
 		// holding the flip-flops where the pseudo-nets put them.
 		if _, err := placer.DetailedExcluding(c, 1, res.FFCells); err != nil {
-			return nil, fmt.Errorf("core: detailed placement (iter %d): %w", iter, err)
+			if se := fail(6, iter, fmt.Errorf("detailed placement: %w", err)); se != nil {
+				return nil, se
+			}
+			break loop
 		}
 		res.PlaceSeconds += time.Since(tPlace).Seconds()
 
@@ -277,24 +349,41 @@ func Run(c *netlist.Circuit, cfg Config) (*Result, error) {
 		tOpt = time.Now()
 		pairs, err = seqPairs(c, cfg.TModel, ffIdx)
 		if err != nil {
-			return nil, err
+			if se := fail(4, iter, err); se != nil {
+				return nil, se
+			}
+			break loop
 		}
 		mWork := res.WorkSlack
-		if mi, _, err := skew.MaxSlackExact(n, pairs, cfg.Params.Period, cfg.TModel.TSetup, cfg.TModel.THold); err == nil {
+		var msSched []float64 // fresh max-slack schedule, stage 4's last-resort fallback
+		if mi, ms, err := skew.MaxSlackExact(n, pairs, cfg.Params.Period, cfg.TModel.TSetup, cfg.TModel.THold); err == nil {
 			mWork = workSlack(cfg.SlackFrac, mi)
+			msSched = ms
+		} else if cfg.Strict {
+			return nil, stageErr(2, iter, fmt.Errorf("in-loop slack refresh: %w", err))
+		} else {
+			// The placement moved into a state the slack solver rejects;
+			// keep optimizing against the previous margin rather than
+			// silently pretending the refresh happened.
+			res.event(2, iter, classify(err), "in-loop slack refresh failed; reusing previous working slack", err)
 		}
-		cons := skew.Constraints(pairs, cfg.Params.Period, mWork, cfg.TModel.TSetup, cfg.TModel.THold)
 		// Inner fixed point of stages 4 and 3: the schedule chases the
 		// nearest ring phases and the assignment chases the schedule; two
 		// rounds settle the pair for the current placement.
 		for inner := 0; inner < 2; inner++ {
-			sched, err = costDriven(c, cfg, arr, res.FFCells, asg, sched, cons)
+			sched, mWork, err = costDrivenRecover(c, cfg, arr, res.FFCells, asg, sched, pairs, mWork, msSched, res, iter)
 			if err != nil {
-				return nil, fmt.Errorf("core: cost-driven skew (iter %d): %w", iter, err)
+				if se := fail(4, iter, fmt.Errorf("cost-driven skew: %w", err)); se != nil {
+					return nil, se
+				}
+				break loop
 			}
-			asg, err = runAssign(c, cfg, arr, res.FFCells, sched, tapCache)
+			asg, err = assignRecover(c, cfg, arr, res.FFCells, sched, tapCache, res, iter)
 			if err != nil {
-				return nil, fmt.Errorf("core: assignment (iter %d): %w", iter, err)
+				if se := fail(3, iter, fmt.Errorf("assignment: %w", err)); se != nil {
+					return nil, se
+				}
+				break loop
 			}
 		}
 		res.OptSeconds += time.Since(tOpt).Seconds()
@@ -323,7 +412,11 @@ func Run(c *netlist.Circuit, cfg Config) (*Result, error) {
 	}
 
 	// Restore the best iterate.
-	c.SetPositions(best.pos)
+	if err := c.SetPositions(best.pos); err != nil {
+		// The snapshot came from this circuit, so a mismatch here is a
+		// broken flow invariant, not recoverable state.
+		return nil, &StageError{Stage: 5, Iter: res.Iterations, Kind: Internal, Err: fmt.Errorf("restoring best placement: %w", err)}
+	}
 	res.Assign = best.asg
 	res.Schedule = best.sched
 	res.Final = best.m
@@ -353,18 +446,117 @@ func seqPairs(c *netlist.Circuit, m timing.Model, ffIdx map[int]int) ([]skew.Seq
 	return pairs, nil
 }
 
-// runAssign builds and solves the stage-3 assignment problem.
-func runAssign(c *netlist.Circuit, cfg Config, arr *rotary.Array, ffCells []int, sched []float64, cache *assign.TapCache) (*assign.Assignment, error) {
+// runAssign builds and solves one stage-3 assignment instance with explicit
+// relaxation knobs (k candidate rings, per-ring capacity, tapping fallback).
+// A nil capacity uses assign's default.
+func runAssign(c *netlist.Circuit, cfg Config, arr *rotary.Array, ffCells []int, sched []float64, cache *assign.TapCache, k int, capacity []int, fallback bool) (*assign.Assignment, error) {
 	ffs := make([]assign.FF, len(ffCells))
 	for i, id := range ffCells {
 		ffs[i] = assign.FF{Cell: id, Pos: c.Cells[id].Pos, Target: sched[i]}
 	}
-	p := &assign.Problem{Array: arr, FFs: ffs, K: cfg.K, Parallelism: cfg.Parallelism, Cache: cache}
+	p := &assign.Problem{
+		Array:       arr,
+		FFs:         ffs,
+		K:           k,
+		Capacity:    capacity,
+		Parallelism: cfg.Parallelism,
+		Cache:       cache,
+		TapFallback: fallback,
+	}
 	if cfg.Assigner == ILP {
 		a, _, err := assign.MinMaxCap(p)
 		return a, err
 	}
 	return assign.MinCost(p)
+}
+
+// assignRecover runs stage 3 under the infeasibility-recovery ladder: the
+// configured instance first, then progressively wider candidate sets and
+// relaxed ring capacities, and as a last resort the nearest-point tapping
+// fallback (recorded, since fallback taps do not realize the skew targets).
+// Strict mode and non-infeasibility errors skip the ladder entirely.
+func assignRecover(c *netlist.Circuit, cfg Config, arr *rotary.Array, ffCells []int, sched []float64, cache *assign.TapCache, res *Result, iter int) (*assign.Assignment, error) {
+	numRings := len(arr.Rings)
+	k2 := cfg.K * 2
+	if k2 > numRings {
+		k2 = numRings
+	}
+	// Base uniform capacity, matching assign's default headroom of 1.25x.
+	baseCap := float64((len(ffCells)*5/4)/numRings + 1)
+	uniform := func(scale float64) []int {
+		cap := make([]int, numRings)
+		for j := range cap {
+			cap[j] = int(math.Ceil(baseCap * scale))
+		}
+		return cap
+	}
+	steps := []struct {
+		k        int
+		capacity []int
+		fallback bool
+		action   string
+	}{
+		{k: cfg.K},
+		{k: k2, capacity: uniform(1.5),
+			action: fmt.Sprintf("relaxing assignment: K widened to %d, ring capacity x1.5", k2)},
+		{k: numRings, capacity: uniform(2.25),
+			action: fmt.Sprintf("relaxing assignment: all %d rings candidate, ring capacity x2.25", numRings)},
+		{k: numRings, capacity: uniform(2.25), fallback: true,
+			action: "enabling nearest-point tapping fallback (taps may miss skew targets)"},
+	}
+	var err error
+	for si, st := range steps {
+		if si > 0 {
+			res.event(3, iter, Infeasible, st.action, err)
+		}
+		var a *assign.Assignment
+		a, err = runAssign(c, cfg, arr, ffCells, sched, cache, st.k, st.capacity, st.fallback)
+		if err == nil {
+			if len(a.Fallbacks) > 0 {
+				res.event(3, iter, Infeasible,
+					fmt.Sprintf("%d flip-flop(s) tapped via nearest-point fallback", len(a.Fallbacks)), nil)
+			}
+			return a, nil
+		}
+		if cfg.Strict || !errors.Is(err, assign.ErrInfeasible) {
+			return nil, err
+		}
+	}
+	return nil, err
+}
+
+// costDrivenRecover runs stage 4 under the slack-relaxation ladder: the full
+// working slack, half of it, then none; if even the zero-margin system is
+// infeasible it falls back to the fresh max-slack schedule (feasible by
+// construction). It returns the schedule and the margin it is feasible at.
+// Strict mode and non-infeasibility errors skip the ladder entirely.
+func costDrivenRecover(c *netlist.Circuit, cfg Config, arr *rotary.Array, ffCells []int, asg *assign.Assignment, sched []float64, pairs []skew.SeqPair, mWork float64, msSched []float64, res *Result, iter int) ([]float64, float64, error) {
+	T := cfg.Params.Period
+	ladder := []float64{mWork}
+	if mWork > 0 {
+		ladder = append(ladder, mWork/2, 0)
+	}
+	var err error
+	for li, m := range ladder {
+		cons := skew.Constraints(pairs, T, m, cfg.TModel.TSetup, cfg.TModel.THold)
+		var t []float64
+		t, err = costDriven(c, cfg, arr, ffCells, asg, sched, cons)
+		if err == nil {
+			return t, m, nil
+		}
+		if cfg.Strict || !errors.Is(err, skew.ErrInfeasible) {
+			return nil, mWork, err
+		}
+		if li+1 < len(ladder) {
+			res.event(4, iter, Infeasible,
+				fmt.Sprintf("relaxing working slack to %.4g ps", ladder[li+1]), err)
+		}
+	}
+	if msSched != nil {
+		res.event(4, iter, Infeasible, "falling back to the max-slack schedule", err)
+		return msSched, mWork, nil
+	}
+	return nil, mWork, err
 }
 
 // costDriven runs the stage-4 skew optimization: anchors are the phases at

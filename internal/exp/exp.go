@@ -40,6 +40,9 @@ type Options struct {
 	// down, the per-flow kernels): 0 = GOMAXPROCS, 1 = serial. All results
 	// except the reported CPU seconds are identical for every value.
 	Parallelism int
+	// Strict makes every flow run fail on the first stage error instead of
+	// running the recovery policies (core.Config.Strict).
+	Strict bool
 }
 
 func (o *Options) normalize() {
@@ -90,16 +93,18 @@ type CircuitRun struct {
 
 // RunCircuit executes both flows on one benchmark circuit, using all cores.
 func RunCircuit(b bench.Circuit) (*CircuitRun, error) {
-	return runCircuit(b, 0)
+	return runCircuit(b, Options{})
 }
 
 // runCircuit executes the network-flow and ILP flows on one benchmark
 // circuit. The two flows operate on independently generated copies of the
 // netlist, so with more than one worker they run concurrently.
-func runCircuit(b bench.Circuit, parallelism int) (*CircuitRun, error) {
+func runCircuit(b bench.Circuit, opt Options) (*CircuitRun, error) {
+	parallelism := opt.Parallelism
 	cr := &CircuitRun{Bench: b}
 	cfg := b.Config()
 	cfg.Parallelism = parallelism
+	cfg.Strict = opt.Strict
 
 	var flowErr, ilpErr error
 	par.Do(par.Workers(parallelism),
@@ -166,7 +171,7 @@ func RunAll(opt Options) ([]*CircuitRun, error) {
 	out := make([]*CircuitRun, len(suite))
 	errs := make([]error, len(suite))
 	par.For(opt.Parallelism, len(suite), func(i int) {
-		out[i], errs[i] = runCircuit(suite[i], opt.Parallelism)
+		out[i], errs[i] = runCircuit(suite[i], opt)
 	})
 	for _, err := range errs {
 		if err != nil {

@@ -1,0 +1,116 @@
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestDisabledHookIsNil(t *testing.T) {
+	if err := Hook("any.site"); err != nil {
+		t.Fatalf("disabled hook returned %v", err)
+	}
+	if Enabled() {
+		t.Fatal("injector armed without Enable")
+	}
+}
+
+func TestCallKeyedRule(t *testing.T) {
+	boom := errors.New("boom")
+	restore := Enable(Rule{Site: "a.b", Call: 2, Err: boom})
+	defer restore()
+	if err := Hook("a.b"); err != nil {
+		t.Fatalf("call 1 injected %v, want nil", err)
+	}
+	if err := Hook("a.b"); !errors.Is(err, boom) {
+		t.Fatalf("call 2 returned %v, want boom", err)
+	}
+	if err := Hook("a.b"); err != nil {
+		t.Fatalf("call 3 injected %v, want nil", err)
+	}
+	if got := Calls("a.b"); got != 3 {
+		t.Fatalf("Calls = %d, want 3", got)
+	}
+	fs := Firings()
+	if len(fs) != 1 || fs[0].Call != 2 || fs[0].Site != "a.b" {
+		t.Fatalf("firings = %+v", fs)
+	}
+}
+
+func TestEveryCallAndCountLimit(t *testing.T) {
+	boom := errors.New("boom")
+	defer Enable(Rule{Site: "s", Count: 2, Err: boom})()
+	errs := 0
+	for i := 0; i < 5; i++ {
+		if Hook("s") != nil {
+			errs++
+		}
+	}
+	if errs != 2 {
+		t.Fatalf("count-limited rule fired %d times, want 2", errs)
+	}
+}
+
+func TestSitesAreIndependent(t *testing.T) {
+	boom := errors.New("boom")
+	defer Enable(Rule{Site: "x", Call: 1, Err: boom})()
+	if err := Hook("y"); err != nil {
+		t.Fatalf("unmatched site injected %v", err)
+	}
+	if err := Hook("x"); !errors.Is(err, boom) {
+		t.Fatalf("site x call 1 = %v, want boom", err)
+	}
+	sites := Sites()
+	if len(sites) != 2 || sites[0] != "x" || sites[1] != "y" {
+		t.Fatalf("sites = %v", sites)
+	}
+}
+
+func TestRestoreDisarms(t *testing.T) {
+	boom := errors.New("boom")
+	restore := Enable(Rule{Site: "z", Err: boom})
+	restore()
+	if err := Hook("z"); err != nil {
+		t.Fatalf("hook after restore returned %v", err)
+	}
+}
+
+func TestInvalidRulePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil-error rule did not panic")
+		}
+	}()
+	Enable(Rule{Site: "s"})
+}
+
+// TestConcurrentHooks exercises the armed injector from many goroutines;
+// run under -race this is the data-race gate for the hook path.
+func TestConcurrentHooks(t *testing.T) {
+	boom := errors.New("boom")
+	defer Enable(Rule{Site: "par", Call: 50, Err: boom})()
+	var wg sync.WaitGroup
+	hits := make([]int, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if Hook("par") != nil {
+					hits[w]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, h := range hits {
+		total += h
+	}
+	if total != 1 {
+		t.Fatalf("call-keyed rule fired %d times under concurrency, want 1", total)
+	}
+	if Calls("par") != 200 {
+		t.Fatalf("calls = %d, want 200", Calls("par"))
+	}
+}

@@ -3,6 +3,12 @@
 // that all wirelength and tapping-cost computations are expressed in.
 //
 // All coordinates are in micrometers unless stated otherwise.
+//
+// Error discipline: functions whose preconditions depend on caller-supplied
+// *data* (e.g. BoundingBox over a possibly-empty point set) return errors;
+// the package never panics on bad input. This is the repo-wide convention —
+// panics are reserved for internal invariant violations that indicate a bug
+// in this package itself.
 package geom
 
 import (
@@ -113,11 +119,12 @@ func (r Rect) String() string {
 	return fmt.Sprintf("[%s - %s]", r.Lo, r.Hi)
 }
 
-// BoundingBox returns the smallest rectangle containing all points. It
-// panics if pts is empty.
-func BoundingBox(pts []Point) Rect {
+// BoundingBox returns the smallest rectangle containing all points. An
+// empty point set is invalid input and returns an error (there is no
+// meaningful empty bounding box: the zero Rect contains the origin).
+func BoundingBox(pts []Point) (Rect, error) {
 	if len(pts) == 0 {
-		panic("geom: BoundingBox of empty point set")
+		return Rect{}, fmt.Errorf("geom: BoundingBox of empty point set")
 	}
 	r := Rect{pts[0], pts[0]}
 	for _, p := range pts[1:] {
@@ -134,7 +141,7 @@ func BoundingBox(pts []Point) Rect {
 			r.Hi.Y = p.Y
 		}
 	}
-	return r
+	return r, nil
 }
 
 // HPWL returns the half-perimeter wirelength of the point set, the standard
@@ -143,7 +150,8 @@ func HPWL(pts []Point) float64 {
 	if len(pts) < 2 {
 		return 0
 	}
-	return BoundingBox(pts).HalfPerimeter()
+	bb, _ := BoundingBox(pts) // non-empty by the guard above
+	return bb.HalfPerimeter()
 }
 
 // Segment is a directed straight wire segment from A to B. Ring edges are

@@ -96,7 +96,10 @@ func TestRectUnionIntersects(t *testing.T) {
 
 func TestBoundingBoxAndHPWL(t *testing.T) {
 	pts := []Point{Pt(1, 1), Pt(4, 0), Pt(2, 6)}
-	bb := BoundingBox(pts)
+	bb, err := BoundingBox(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if bb.Lo != Pt(1, 0) || bb.Hi != Pt(4, 6) {
 		t.Errorf("BoundingBox = %v", bb)
 	}
@@ -108,13 +111,10 @@ func TestBoundingBoxAndHPWL(t *testing.T) {
 	}
 }
 
-func TestBoundingBoxEmptyPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	BoundingBox(nil)
+func TestBoundingBoxEmptyIsError(t *testing.T) {
+	if _, err := BoundingBox(nil); err == nil {
+		t.Fatal("expected error for empty point set")
+	}
 }
 
 func TestSegment(t *testing.T) {

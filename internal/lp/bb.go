@@ -3,16 +3,27 @@ package lp
 import (
 	"math"
 	"time"
+
+	"rotaryclk/internal/faultinject"
 )
 
 // ILPOptions bounds the branch-and-bound search. The paper's Table I runs a
 // generic public-domain ILP solver with a 10-hour budget and reports the
 // best incumbent; TimeLimit reproduces that protocol at laptop scale.
+//
+// When both TimeLimit and MaxNodes are zero, SolveILP applies
+// DefaultMaxNodes so no instance can run unbounded; pass MaxNodes < 0 to
+// search without a node cap.
 type ILPOptions struct {
 	TimeLimit time.Duration // 0 = no limit
-	MaxNodes  int           // 0 = no limit
+	MaxNodes  int           // 0 = DefaultMaxNodes when TimeLimit is also 0; < 0 = no limit
 	LP        Options       // per-node LP options
 }
+
+// DefaultMaxNodes is the branch-and-bound node cap applied when ILPOptions
+// sets no budget at all. It is far beyond any instance this flow solves
+// exactly, but bounds runaway searches on pathological inputs.
+const DefaultMaxNodes = 1_000_000
 
 // ILPStatus describes the outcome of an integer solve.
 type ILPStatus int
@@ -46,6 +57,9 @@ type ILPSolution struct {
 	X      []float64 // incumbent (integer variables integral)
 	Bound  float64   // best lower bound proved
 	Nodes  int
+	// BudgetHit reports that the search stopped on its node or time budget
+	// (classify with ErrBudget); Status then says whether an incumbent exists.
+	BudgetHit bool
 }
 
 const intTol = 1e-6
@@ -54,6 +68,15 @@ const intTol = 1e-6
 // branching on the most fractional integer variable. Variables added with
 // AddIntVar are forced integral; continuous variables stay continuous.
 func (p *Problem) SolveILP(opts ILPOptions) (ILPSolution, error) {
+	if err := faultinject.Hook(faultinject.SiteLPSolveILP); err != nil {
+		return ILPSolution{Status: ILPNoSolution}, err
+	}
+	if p.buildErr != nil {
+		return ILPSolution{Status: ILPNoSolution}, p.buildErr
+	}
+	if opts.MaxNodes == 0 && opts.TimeLimit <= 0 {
+		opts.MaxNodes = DefaultMaxNodes
+	}
 	deadline := time.Time{}
 	if opts.TimeLimit > 0 {
 		deadline = time.Now().Add(opts.TimeLimit)
@@ -71,9 +94,11 @@ func (p *Problem) SolveILP(opts ILPOptions) (ILPSolution, error) {
 
 	for len(stack) > 0 {
 		if opts.MaxNodes > 0 && res.Nodes >= opts.MaxNodes {
+			res.BudgetHit = true
 			break
 		}
 		if !deadline.IsZero() && time.Now().After(deadline) {
+			res.BudgetHit = true
 			break
 		}
 		nd := stack[len(stack)-1]
@@ -139,9 +164,7 @@ func (p *Problem) SolveILP(opts ILPOptions) (ILPSolution, error) {
 		}
 	}
 
-	exhausted := len(stack) == 0 &&
-		(opts.MaxNodes <= 0 || res.Nodes < opts.MaxNodes) &&
-		(deadline.IsZero() || time.Now().Before(deadline))
+	exhausted := len(stack) == 0 && !res.BudgetHit
 	switch {
 	case res.Status == ILPFeasible && exhausted:
 		res.Status = ILPOptimal

@@ -8,13 +8,27 @@
 // assignment LPs, whose 0 <= x_ij <= 1 box would otherwise double the row
 // count), and maintains an explicit dense basis inverse with periodic
 // refactorization.
+//
+// Error discipline: model-building mistakes (inverted bounds, constraints
+// referencing unknown variables) are caller-data errors. They do not panic;
+// the first one is recorded on the Problem and returned — wrapping
+// ErrBadProblem — by the next Solve/SolveOpts/SolveILP call, so building
+// code stays free of per-call error plumbing. Budget exhaustion is reported
+// through Solution.Status == IterLimit and ILPSolution.BudgetHit; match
+// ErrBudget to classify it when a caller converts statuses to errors.
 package lp
 
 import (
 	"errors"
 	"fmt"
 	"math"
+
+	"rotaryclk/internal/faultinject"
 )
+
+// ErrBudget classifies solves stopped by an iteration, node, or time budget
+// rather than by a mathematical outcome.
+var ErrBudget = errors.New("lp: budget exceeded")
 
 // Sense is the relational sense of a constraint row.
 type Sense int
@@ -60,11 +74,12 @@ type constraint struct {
 //
 // built incrementally with AddVar and AddConstraint.
 type Problem struct {
-	obj     []float64
-	lo, hi  []float64
-	integer []bool
-	cons    []constraint
-	names   []string
+	obj      []float64
+	lo, hi   []float64
+	integer  []bool
+	cons     []constraint
+	names    []string
+	buildErr error // first model-building error; reported at solve time
 }
 
 // NewProblem returns an empty minimization problem.
@@ -78,9 +93,13 @@ func (p *Problem) NumConstraints() int { return len(p.cons) }
 
 // AddVar adds a continuous variable with objective coefficient obj and
 // bounds [lo, hi], returning its index. Use -Inf/+Inf for free bounds.
+// Inverted bounds are recorded as a build error reported by the next solve.
 func (p *Problem) AddVar(name string, obj, lo, hi float64) int {
 	if lo > hi {
-		panic(fmt.Sprintf("lp: variable %q has lo %v > hi %v", name, lo, hi))
+		if p.buildErr == nil {
+			p.buildErr = fmt.Errorf("%w: variable %q has lo %v > hi %v", ErrBadProblem, name, lo, hi)
+		}
+		hi = lo // keep indices consistent; the solve reports buildErr anyway
 	}
 	p.obj = append(p.obj, obj)
 	p.lo = append(p.lo, lo)
@@ -102,16 +121,25 @@ func (p *Problem) AddIntVar(name string, obj, lo, hi float64) int {
 func (p *Problem) SetObj(v int, c float64) { p.obj[v] = c }
 
 // AddConstraint adds the row sum(coefs) sense rhs. Coefficients referencing
-// the same variable twice are summed.
+// the same variable twice are summed. A coefficient referencing an unknown
+// variable is recorded as a build error reported by the next solve; the row
+// is dropped.
 func (p *Problem) AddConstraint(sense Sense, rhs float64, coefs ...Coef) int {
 	for _, c := range coefs {
 		if c.Var < 0 || c.Var >= len(p.obj) {
-			panic(fmt.Sprintf("lp: constraint references unknown variable %d", c.Var))
+			if p.buildErr == nil {
+				p.buildErr = fmt.Errorf("%w: constraint references unknown variable %d", ErrBadProblem, c.Var)
+			}
+			return len(p.cons) - 1
 		}
 	}
 	p.cons = append(p.cons, constraint{coefs: coefs, sense: sense, rhs: rhs})
 	return len(p.cons) - 1
 }
+
+// BuildErr returns the first model-building error recorded on the problem,
+// or nil. Solves return it too; this accessor lets builders check early.
+func (p *Problem) BuildErr() error { return p.buildErr }
 
 // Status reports the outcome of a solve.
 type Status int
@@ -172,6 +200,12 @@ func (o *Options) normalize(m, n int) {
 
 // SolveOpts is Solve with explicit options.
 func (p *Problem) SolveOpts(opts Options) (Solution, error) {
+	if err := faultinject.Hook(faultinject.SiteLPSolve); err != nil {
+		return Solution{Status: Infeasible}, err
+	}
+	if p.buildErr != nil {
+		return Solution{Status: Infeasible}, p.buildErr
+	}
 	s, err := newSimplex(p)
 	if err != nil {
 		return Solution{Status: Infeasible}, err
@@ -179,6 +213,10 @@ func (p *Problem) SolveOpts(opts Options) (Solution, error) {
 	opts.normalize(s.m, s.n)
 	return s.solve(opts)
 }
+
+// BudgetExceeded reports whether the solve stopped on its iteration budget
+// instead of reaching a mathematical outcome.
+func (s Solution) BudgetExceeded() bool { return s.Status == IterLimit }
 
 // Value evaluates the objective at x.
 func (p *Problem) Value(x []float64) float64 {

@@ -3,13 +3,33 @@
 // for the flip-flop-to-ring assignment of Section V (Fig. 4); the
 // circulation solver additionally powers the weighted-sum skew optimization
 // of Section VII through linear programming duality.
+//
+// Error discipline: solve methods return errors for conditions determined by
+// the caller-supplied graph (a negative cycle makes the min-cost objective
+// unbounded; a circulation whose saturated excess cannot be rerouted is not
+// a circulation instance). Panics are reserved for API misuse that is a bug
+// in the calling code regardless of data — AddArc with out-of-range nodes or
+// negative capacity — and for violations of the solver's own potential
+// invariant.
 package mcmf
 
 import (
 	"container/heap"
+	"errors"
 	"fmt"
 	"math"
+
+	"rotaryclk/internal/faultinject"
 )
+
+// ErrNegativeCycle reports that the input graph contains a reachable
+// negative-cost cycle, making the min-cost objective unbounded.
+var ErrNegativeCycle = errors.New("mcmf: negative-cost cycle in input graph")
+
+// ErrExcessStranded reports that a MinCostCirculation instance saturated
+// negative arcs whose excess could not be rerouted; the input was not a
+// valid circulation instance.
+var ErrExcessStranded = errors.New("mcmf: circulation excess could not be rerouted")
 
 // ArcID identifies an arc returned by AddArc.
 type ArcID int
@@ -167,10 +187,14 @@ func (g *Graph) bellmanFord() bool {
 // MinCostFlow pushes up to maxFlow units from s to t along successive
 // shortest paths, returning the flow achieved and its total cost. Pass
 // maxFlow < 0 for max flow. Arc costs must be non-negative unless
-// negative-cost arcs were neutralized beforehand (see MinCostCirculation).
-func (g *Graph) MinCostFlow(s, t, maxFlow int) (flow int, cost float64) {
+// negative-cost arcs were neutralized beforehand (see MinCostCirculation);
+// a reachable negative cycle returns ErrNegativeCycle.
+func (g *Graph) MinCostFlow(s, t, maxFlow int) (flow int, cost float64, err error) {
+	if err := faultinject.Hook(faultinject.SiteMcmfMinCostFlow); err != nil {
+		return 0, 0, err
+	}
 	if s == t {
-		return 0, 0
+		return 0, 0, nil
 	}
 	if maxFlow < 0 {
 		maxFlow = math.MaxInt64 / 4
@@ -185,7 +209,7 @@ func (g *Graph) MinCostFlow(s, t, maxFlow int) (flow int, cost float64) {
 	}
 	if hasNeg {
 		if !g.bellmanFord() {
-			panic("mcmf: negative cycle in MinCostFlow input")
+			return 0, 0, ErrNegativeCycle
 		}
 	}
 	for flow < maxFlow {
@@ -217,11 +241,11 @@ func (g *Graph) MinCostFlow(s, t, maxFlow int) (flow int, cost float64) {
 			}
 		}
 	}
-	return flow, cost
+	return flow, cost, nil
 }
 
 // MinCostMaxFlow routes the maximum flow from s to t at minimum cost.
-func (g *Graph) MinCostMaxFlow(s, t int) (flow int, cost float64) {
+func (g *Graph) MinCostMaxFlow(s, t int) (flow int, cost float64, err error) {
 	return g.MinCostFlow(s, t, -1)
 }
 
@@ -229,8 +253,9 @@ func (g *Graph) MinCostMaxFlow(s, t int) (flow int, cost float64) {
 // conservation at every node, exploiting negative-cost arcs. It returns the
 // (non-positive) optimal cost. The standard transformation saturates all
 // negative arcs and reroutes the resulting excesses via a min-cost flow on
-// the residual graph, whose costs are then all non-negative.
-func (g *Graph) MinCostCirculation() float64 {
+// the residual graph, whose costs are then all non-negative. Inputs that are
+// not valid circulation instances return ErrExcessStranded.
+func (g *Graph) MinCostCirculation() (float64, error) {
 	excess := make([]float64, g.n)
 	cost := 0.0
 	for ai := 0; ai < len(g.arcs); ai += 2 {
@@ -258,14 +283,17 @@ func (g *Graph) MinCostCirculation() float64 {
 			g.AddArc(v, t, int(-excess[v]+0.5), 0)
 		}
 	}
-	flow, c2 := g.MinCostMaxFlow(s, t)
+	flow, c2, err := g.MinCostMaxFlow(s, t)
+	if err != nil {
+		return 0, err
+	}
 	if flow < need {
 		// Leftover excess means some negative arcs cannot be fully used;
 		// this cannot happen in a circulation instance built from finite
-		// capacities, but guard against misuse.
-		panic("mcmf: circulation excess could not be rerouted")
+		// capacities, so reject the input.
+		return 0, ErrExcessStranded
 	}
-	return cost + c2
+	return cost + c2, nil
 }
 
 // ResidualDistances returns Bellman-Ford shortest-path distances from src

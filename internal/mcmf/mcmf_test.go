@@ -1,16 +1,37 @@
 package mcmf
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
 )
 
+// maxFlow solves MinCostMaxFlow and fails the test on a solver error.
+func maxFlow(t *testing.T, g *Graph, s, tt int) (int, float64) {
+	t.Helper()
+	f, c, err := g.MinCostMaxFlow(s, tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, c
+}
+
+// circulation solves MinCostCirculation and fails the test on a solver error.
+func circulation(t *testing.T, g *Graph) float64 {
+	t.Helper()
+	c, err := g.MinCostCirculation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
 func TestSimplePath(t *testing.T) {
 	g := NewGraph(3)
 	a := g.AddArc(0, 1, 5, 1)
 	b := g.AddArc(1, 2, 3, 2)
-	flow, cost := g.MinCostMaxFlow(0, 2)
+	flow, cost := maxFlow(t, g, 0, 2)
 	if flow != 3 || cost != 9 {
 		t.Errorf("flow/cost = %d/%v, want 3/9", flow, cost)
 	}
@@ -26,7 +47,7 @@ func TestChoosesCheaperPath(t *testing.T) {
 	g.AddArc(0, 2, 2, 10)
 	g.AddArc(1, 3, 2, 1)
 	g.AddArc(2, 3, 2, 1)
-	flow, cost := g.MinCostMaxFlow(0, 3)
+	flow, cost := maxFlow(t, g, 0, 3)
 	if flow != 4 {
 		t.Fatalf("flow = %d, want 4", flow)
 	}
@@ -39,7 +60,10 @@ func TestChoosesCheaperPath(t *testing.T) {
 func TestFlowLimit(t *testing.T) {
 	g := NewGraph(2)
 	g.AddArc(0, 1, 10, 3)
-	flow, cost := g.MinCostFlow(0, 1, 4)
+	flow, cost, err := g.MinCostFlow(0, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if flow != 4 || cost != 12 {
 		t.Errorf("flow/cost = %d/%v, want 4/12", flow, cost)
 	}
@@ -49,7 +73,7 @@ func TestDisconnected(t *testing.T) {
 	g := NewGraph(4)
 	g.AddArc(0, 1, 5, 1)
 	g.AddArc(2, 3, 5, 1)
-	flow, _ := g.MinCostMaxFlow(0, 3)
+	flow, _ := maxFlow(t, g, 0, 3)
 	if flow != 0 {
 		t.Errorf("flow = %d, want 0", flow)
 	}
@@ -58,7 +82,7 @@ func TestDisconnected(t *testing.T) {
 func TestSourceEqualsTarget(t *testing.T) {
 	g := NewGraph(2)
 	g.AddArc(0, 1, 1, 1)
-	if f, c := g.MinCostMaxFlow(0, 0); f != 0 || c != 0 {
+	if f, c := maxFlow(t, g, 0, 0); f != 0 || c != 0 {
 		t.Errorf("self flow = %d/%v", f, c)
 	}
 }
@@ -96,7 +120,7 @@ func TestAssignmentOptimal(t *testing.T) {
 		for j := 0; j < nR; j++ {
 			g.AddArc(2+nFF+j, tt, capU, 0)
 		}
-		flow, got := g.MinCostMaxFlow(s, tt)
+		flow, got := maxFlow(t, g, s, tt)
 		if flow != nFF {
 			t.Fatalf("trial %d: flow %d, want %d", trial, flow, nFF)
 		}
@@ -142,9 +166,22 @@ func TestNegativeCostFlowViaBellmanFord(t *testing.T) {
 	g := NewGraph(3)
 	g.AddArc(0, 1, 2, -5)
 	g.AddArc(1, 2, 2, 3)
-	flow, cost := g.MinCostMaxFlow(0, 2)
+	flow, cost := maxFlow(t, g, 0, 2)
 	if flow != 2 || math.Abs(cost+4) > 1e-9 {
 		t.Errorf("flow/cost = %d/%v, want 2/-4", flow, cost)
+	}
+}
+
+func TestNegativeCycleIsError(t *testing.T) {
+	// A reachable negative cycle 1->2->1 makes the objective unbounded;
+	// MinCostFlow must reject the input rather than panic.
+	g := NewGraph(4)
+	g.AddArc(0, 1, 1, 1)
+	g.AddArc(1, 2, 5, -3)
+	g.AddArc(2, 1, 5, 1)
+	g.AddArc(2, 3, 1, 1)
+	if _, _, err := g.MinCostMaxFlow(0, 3); !errors.Is(err, ErrNegativeCycle) {
+		t.Fatalf("err = %v, want ErrNegativeCycle", err)
 	}
 }
 
@@ -155,7 +192,7 @@ func TestCirculationSimpleNegativeCycle(t *testing.T) {
 	g.AddArc(0, 1, 2, -5)
 	g.AddArc(1, 2, 4, 1)
 	g.AddArc(2, 0, 2, 1)
-	cost := g.MinCostCirculation()
+	cost := circulation(t, g)
 	if math.Abs(cost+6) > 1e-9 {
 		t.Errorf("circulation cost = %v, want -6", cost)
 	}
@@ -165,7 +202,7 @@ func TestCirculationNoNegativeArcs(t *testing.T) {
 	g := NewGraph(3)
 	g.AddArc(0, 1, 2, 5)
 	g.AddArc(1, 2, 4, 1)
-	cost := g.MinCostCirculation()
+	cost := circulation(t, g)
 	if cost != 0 {
 		t.Errorf("circulation cost = %v, want 0", cost)
 	}
@@ -177,7 +214,7 @@ func TestCirculationPartialUse(t *testing.T) {
 	g := NewGraph(2)
 	g.AddArc(0, 1, 5, -4)
 	g.AddArc(1, 0, 2, 1)
-	cost := g.MinCostCirculation()
+	cost := circulation(t, g)
 	if math.Abs(cost+6) > 1e-9 {
 		t.Errorf("circulation cost = %v, want -6", cost)
 	}
@@ -189,7 +226,7 @@ func TestTotalCostMatchesReturnedCost(t *testing.T) {
 	g.AddArc(1, 3, 2, 1)
 	g.AddArc(1, 2, 2, 5)
 	g.AddArc(2, 3, 2, 0)
-	_, cost := g.MinCostMaxFlow(0, 3)
+	_, cost := maxFlow(t, g, 0, 3)
 	if math.Abs(cost-g.TotalCost()) > 1e-9 {
 		t.Errorf("returned %v != recomputed %v", cost, g.TotalCost())
 	}
@@ -247,7 +284,7 @@ func TestRandomFlowOptimalitySpotCheck(t *testing.T) {
 				g.AddArc(ed.u, ed.v, ed.c, ed.w)
 			}
 		}
-		maxF, cost := g.MinCostMaxFlow(0, n-1)
+		maxF, cost := maxFlow(t, g, 0, n-1)
 		if maxF == 0 {
 			continue
 		}
@@ -257,7 +294,7 @@ func TestRandomFlowOptimalitySpotCheck(t *testing.T) {
 		for _, ed := range edges {
 			g2.AddArc(ed.u, ed.v, ed.c, ed.w)
 		}
-		f2, c2 := g2.MinCostMaxFlow(0, n-1)
+		f2, c2 := maxFlow(t, g2, 0, n-1)
 		if f2 != maxF {
 			t.Fatalf("trial %d: max flow differs %d vs %d", trial, f2, maxF)
 		}
@@ -280,7 +317,7 @@ func TestResidualDistancesDirect(t *testing.T) {
 	}
 	// After saturating the path, the forward arcs leave the residual graph
 	// and node 2 becomes unreachable from 0.
-	g.MinCostMaxFlow(0, 2)
+	maxFlow(t, g, 0, 2)
 	dist, ok = g.ResidualDistances(0)
 	if !ok {
 		t.Fatal("optimal flow residual must have no negative cycle")

@@ -40,7 +40,10 @@ func TestQuickFlowConservation(t *testing.T) {
 			ids[i] = g.AddArc(a.u, a.v, a.cap, a.cost)
 		}
 		s, tt := 0, n-1
-		flow, _ := g.MinCostMaxFlow(s, tt)
+		flow, _, err := g.MinCostMaxFlow(s, tt)
+		if err != nil {
+			return false
+		}
 		net := make([]int, n)
 		for i, a := range arcs {
 			fl := g.Flow(ids[i])
@@ -88,7 +91,10 @@ func TestQuickMinCostFlowVsLP(t *testing.T) {
 			g.AddArc(a.u, a.v, a.cap, a.cost)
 		}
 		s, tt := 0, n-1
-		flow, cost := g.MinCostMaxFlow(s, tt)
+		flow, cost, ferr := g.MinCostMaxFlow(s, tt)
+		if ferr != nil {
+			return false
+		}
 		if flow == 0 {
 			return cost == 0
 		}
@@ -150,7 +156,10 @@ func TestQuickCirculationVsLP(t *testing.T) {
 		for _, a := range arcs {
 			g.AddArc(a.u, a.v, a.cap, a.cost)
 		}
-		got := g.MinCostCirculation()
+		got, cerr := g.MinCostCirculation()
+		if cerr != nil {
+			return false
+		}
 
 		p := lp.NewProblem()
 		vars := make([]int, len(arcs))

@@ -19,6 +19,14 @@ import (
 // Every signal name becomes a net; every assignment becomes a cell driving
 // that net. DFF cells become flip-flops, everything else becomes a gate.
 // Cell footprints are left zero; callers size cells for placement.
+//
+// Signal names may not contain the format's delimiter characters
+// ('(', ')', ',', '=', '#'), whitespace, or control characters — such names
+// could not survive a WriteBench round-trip. Repeated gate arguments
+// (e.g. AND(G1, G1)) collapse to a single net pin; a signal driving its own
+// producer (e.g. G5 = DFF(G5)) is rejected because a Net cannot list one
+// cell as both driver and sink. A successful parse always yields a circuit
+// that passes Validate.
 func ParseBench(name string, r io.Reader) (*Circuit, error) {
 	c := New(name)
 
@@ -62,6 +70,9 @@ func ParseBench(name string, r io.Reader) (*Circuit, error) {
 				return nil, fmt.Errorf("%s:%d: unrecognized line %q", name, lineno, line)
 			}
 			out := strings.TrimSpace(line[:eq])
+			if err := checkSignalName(out); err != nil {
+				return nil, fmt.Errorf("%s:%d: %v", name, lineno, err)
+			}
 			rhs := strings.TrimSpace(line[eq+1:])
 			open := strings.Index(rhs, "(")
 			close := strings.LastIndex(rhs, ")")
@@ -77,6 +88,12 @@ func ParseBench(name string, r io.Reader) (*Circuit, error) {
 				a = strings.TrimSpace(a)
 				if a == "" {
 					return nil, fmt.Errorf("%s:%d: empty argument in %q", name, lineno, line)
+				}
+				if err := checkSignalName(a); err != nil {
+					return nil, fmt.Errorf("%s:%d: %v", name, lineno, err)
+				}
+				if a == out {
+					return nil, fmt.Errorf("%s:%d: signal %q drives itself", name, lineno, out)
 				}
 				args = append(args, a)
 			}
@@ -123,7 +140,12 @@ func ParseBench(name string, r io.Reader) (*Circuit, error) {
 	consumers := map[string][]int{}
 	for _, a := range assigns {
 		sink := producer[a.out]
+		seen := map[string]bool{}
 		for _, arg := range a.args {
+			if seen[arg] { // AND(G1, G1): one net pin, not two
+				continue
+			}
+			seen[arg] = true
 			consumers[arg] = append(consumers[arg], sink.ID)
 		}
 	}
@@ -175,7 +197,24 @@ func parenArg(line string) (string, error) {
 	if arg == "" {
 		return "", fmt.Errorf("empty declaration %q", line)
 	}
+	if err := checkSignalName(arg); err != nil {
+		return "", err
+	}
 	return arg, nil
+}
+
+// checkSignalName rejects signal names that could not survive a WriteBench
+// round-trip: names containing the format's delimiters, whitespace, control
+// characters, or non-UTF-8 bytes.
+func checkSignalName(s string) error {
+	for _, r := range s {
+		switch {
+		case r == '(' || r == ')' || r == ',' || r == '=' || r == '#',
+			r <= ' ', r == 0x7f, r == '�':
+			return fmt.Errorf("invalid signal name %q", s)
+		}
+	}
+	return nil
 }
 
 func parseFunc(s string) (Func, error) {

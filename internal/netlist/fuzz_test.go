@@ -1,0 +1,63 @@
+package netlist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseBench asserts the parser's contract on arbitrary input: it either
+// rejects the text with an error or produces a circuit that passes Validate
+// and survives a WriteBench round-trip unchanged in shape. It must never
+// panic — malformed netlists are caller data, not flow invariants.
+func FuzzParseBench(f *testing.F) {
+	seeds := []string{
+		// The doc-comment example.
+		"# comment\nINPUT(G0)\nOUTPUT(G17)\nG5 = DFF(G10)\nG10 = NAND(G0, G5)\n",
+		// Self-loop (rejected), duplicate args (collapsed), weird spacing.
+		"G1 = DFF(G1)\n",
+		"INPUT(a)\nb = AND(a, a)\nOUTPUT(b)\n",
+		"  INPUT( x ) \n y = NOT ( x )\nOUTPUT(y)\n",
+		// Delimiter characters inside names (rejected).
+		"INPUT(a(b)\n",
+		"INPUT(a)\nb=c = AND(a)\n",
+		// Empty, comment-only, and unterminated lines.
+		"",
+		"# nothing here\n\n#\n",
+		"INPUT(a\n",
+		"z = OR(",
+		// Multiple drivers and undefined signals.
+		"a = AND(b)\na = OR(c)\n",
+		"OUTPUT(neverdefined)\n",
+		// A slightly larger well-formed circuit.
+		"INPUT(i0)\nINPUT(i1)\nf0 = DFF(n2)\nn1 = NAND(i0, f0)\nn2 = NOR(n1, i1)\nOUTPUT(n2)\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data string) {
+		c, err := ParseBench("fuzz", strings.NewReader(data))
+		if err != nil {
+			return // rejected input is fine; panicking or mis-parsing is not
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("parsed circuit fails Validate: %v\ninput:\n%s", err, data)
+		}
+		var buf bytes.Buffer
+		if err := WriteBench(&buf, c); err != nil {
+			t.Fatalf("WriteBench failed on parsed circuit: %v", err)
+		}
+		c2, err := ParseBench("fuzz-roundtrip", bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("round-trip parse failed: %v\nwritten:\n%s", err, buf.String())
+		}
+		if len(c2.Cells) != len(c.Cells) {
+			t.Fatalf("round-trip changed cell count %d -> %d\ninput:\n%s\nwritten:\n%s",
+				len(c.Cells), len(c2.Cells), data, buf.String())
+		}
+		ff1, ff2 := len(c.FlipFlops()), len(c2.FlipFlops())
+		if ff1 != ff2 {
+			t.Fatalf("round-trip changed flip-flop count %d -> %d", ff1, ff2)
+		}
+	})
+}

@@ -3,6 +3,13 @@
 // ISCAS89 .bench reader/writer and a synthetic benchmark generator that
 // reproduces the statistical profile (cell, flip-flop and net counts) of the
 // circuits used in the paper's evaluation.
+//
+// Error discipline: operations whose validity depends on caller-supplied
+// data (parsing a .bench stream, writing a position vector of the wrong
+// length, validating a circuit) return errors. Panics are reserved for
+// internal invariant violations — e.g. AddNet referencing a cell ID that was
+// never returned by AddCell is a programming error in the builder code, not
+// a data error, and panics.
 package netlist
 
 import (
@@ -225,16 +232,18 @@ func (c *Circuit) Positions() []geom.Point {
 }
 
 // SetPositions writes pos (indexed by cell ID) back onto the cells, skipping
-// fixed cells. It panics if len(pos) != len(c.Cells).
-func (c *Circuit) SetPositions(pos []geom.Point) {
+// fixed cells. A length mismatch is invalid input and returns an error with
+// no cell moved (the write is all-or-nothing).
+func (c *Circuit) SetPositions(pos []geom.Point) error {
 	if len(pos) != len(c.Cells) {
-		panic("netlist: SetPositions length mismatch")
+		return fmt.Errorf("netlist: SetPositions: %d positions for %d cells", len(pos), len(c.Cells))
 	}
 	for i, cell := range c.Cells {
 		if !cell.Fixed {
 			cell.Pos = pos[i]
 		}
 	}
+	return nil
 }
 
 // Validate checks structural invariants: every net has a driver, every

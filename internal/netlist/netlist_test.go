@@ -83,7 +83,9 @@ func TestPositionsRoundTrip(t *testing.T) {
 	pos := c.Positions()
 	pos[1] = geom.Pt(42, 42)
 	pos[0] = geom.Pt(99, 99) // fixed pad: must not move
-	c.SetPositions(pos)
+	if err := c.SetPositions(pos); err != nil {
+		t.Fatal(err)
+	}
 	if c.Cells[1].Pos != geom.Pt(42, 42) {
 		t.Error("movable cell did not move")
 	}

@@ -8,17 +8,32 @@
 // accepts pseudo-nets pulling flip-flops toward their rotary rings, and is
 // stable under small netlist perturbations — all of which this package
 // provides.
+//
+// Error discipline: invalid circuits (empty die) return errors, and a
+// conjugate-gradient solve that exhausts its iteration budget with the
+// residual still above tolerance returns an error wrapping ErrNonConverged —
+// best-effort positions are written to the circuit first, so callers may
+// either accept them or retry with a looser CGTol. The package never panics
+// on caller input.
 package placer
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sync"
 
+	"rotaryclk/internal/faultinject"
 	"rotaryclk/internal/geom"
 	"rotaryclk/internal/netlist"
 	"rotaryclk/internal/par"
 )
+
+// ErrNonConverged reports that the final quadratic solve stopped on its
+// iteration budget (or a numerical breakdown) with the residual still above
+// CGTol. The circuit holds the best-effort positions reached; callers match
+// this with errors.Is to retry with a looser tolerance or accept the result.
+var ErrNonConverged = errors.New("placer: conjugate gradients did not converge")
 
 // PseudoNet pulls one cell toward a fixed target point with the given
 // weight. The flow inserts one per flip-flop, anchored at its assigned
@@ -245,17 +260,24 @@ var wsPool = sync.Pool{New: func() any { return new(solveWS) }}
 // solve runs Jacobi-preconditioned CG for both dimensions, starting from the
 // current positions, and leaves the solutions in posX/posY. The x and y
 // systems share the (read-only) matrix but nothing else, so with more than
-// one worker they solve concurrently, splitting the worker budget.
-func (s *system) solve(tol float64, maxIter, workers int, ws *solveWS) {
+// one worker they solve concurrently, splitting the worker budget. It
+// reports whether both axes converged (posX/posY hold the best-effort
+// iterates either way).
+func (s *system) solve(tol float64, maxIter, workers int, ws *solveWS) bool {
+	if faultinject.Hook(faultinject.SitePlacerCG) != nil {
+		return false // injected stagnation: exercise the retry path
+	}
 	if workers > 1 {
 		half := workers / 2
+		var okX, okY bool
 		par.Do(workers,
-			func() { s.cg(s.posX, s.bx, tol, maxIter, half, &ws.x) },
-			func() { s.cg(s.posY, s.by, tol, maxIter, workers-half, &ws.y) })
-		return
+			func() { okX = s.cg(s.posX, s.bx, tol, maxIter, half, &ws.x) },
+			func() { okY = s.cg(s.posY, s.by, tol, maxIter, workers-half, &ws.y) })
+		return okX && okY
 	}
-	s.cg(s.posX, s.bx, tol, maxIter, 1, &ws.x)
-	s.cg(s.posY, s.by, tol, maxIter, 1, &ws.y)
+	okX := s.cg(s.posX, s.bx, tol, maxIter, 1, &ws.x)
+	okY := s.cg(s.posY, s.by, tol, maxIter, 1, &ws.y)
+	return okX && okY
 }
 
 // mulvec computes out = A*v for the Laplacian-plus-diagonal system. Rows are
@@ -288,10 +310,13 @@ func dot(a, b []float64, workers int) float64 {
 	}, addF)
 }
 
-func (s *system) cg(x, b []float64, tol float64, maxIter, workers int, ws *cgScratch) {
+// cg reports whether it reached the residual tolerance; on a false return
+// (iteration budget exhausted or numerical breakdown with the residual still
+// high) x holds the best iterate reached.
+func (s *system) cg(x, b []float64, tol float64, maxIter, workers int, ws *cgScratch) bool {
 	n := s.n
 	if n == 0 {
-		return
+		return true
 	}
 	ws.ensure(n)
 	r, z, p, ap := ws.r, ws.z, ws.p, ws.ap
@@ -317,12 +342,14 @@ func (s *system) cg(x, b []float64, tol float64, maxIter, workers int, ws *cgScr
 	for iter := 0; iter < maxIter; iter++ {
 		rn := dot(r, r, workers)
 		if math.Sqrt(rn) <= tol*bnorm {
-			return
+			return true
 		}
 		s.mulvec(p, ap, workers)
 		pap := dot(p, ap, workers)
 		if pap <= 0 {
-			return // numerical breakdown; current x is best effort
+			// Numerical breakdown; current x is best effort. Converged only
+			// if the residual already meets the tolerance.
+			return math.Sqrt(dot(r, r, workers)) <= tol*bnorm
 		}
 		alpha := rz / pap
 		par.Chunks(workers, n, vecGrain, func(lo, hi int) {
@@ -347,6 +374,8 @@ func (s *system) cg(x, b []float64, tol float64, maxIter, workers int, ws *cgScr
 			}
 		})
 	}
+	// Iteration budget exhausted: residual stagnated above tolerance.
+	return math.Sqrt(dot(r, r, workers)) <= tol*bnorm
 }
 
 // writeBack clamps solved positions into the die and stores them on the

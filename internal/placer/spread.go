@@ -1,8 +1,10 @@
 package placer
 
 import (
+	"fmt"
 	"math"
 
+	"rotaryclk/internal/faultinject"
 	"rotaryclk/internal/geom"
 	"rotaryclk/internal/netlist"
 	"rotaryclk/internal/par"
@@ -13,6 +15,9 @@ import (
 // into the quadratic system, leaving cells spread over the die with low
 // quadratic wirelength. Positions are written onto the circuit.
 func Global(c *netlist.Circuit, opt Options) error {
+	if err := faultinject.Hook(faultinject.SitePlacerGlobal); err != nil {
+		return err
+	}
 	if err := validate(c); err != nil {
 		return err
 	}
@@ -24,7 +29,7 @@ func Global(c *netlist.Circuit, opt Options) error {
 	ws := wsPool.Get().(*solveWS)
 	defer wsPool.Put(ws)
 	sys, _ := buildSystem(c, &opt)
-	sys.solve(opt.CGTol, opt.CGMaxIter, workers, ws)
+	converged := sys.solve(opt.CGTol, opt.CGMaxIter, workers, ws)
 	sys.writeBack(c)
 
 	for iter := 1; iter <= opt.SpreadIters; iter++ {
@@ -39,8 +44,13 @@ func Global(c *netlist.Circuit, opt Options) error {
 			o2.PseudoNets[len(opt.PseudoNets)+i].Weight *= w
 		}
 		sys, _ = buildSystem(c, &o2)
-		sys.solve(opt.CGTol, opt.CGMaxIter, workers, ws)
+		converged = sys.solve(opt.CGTol, opt.CGMaxIter, workers, ws)
 		sys.writeBack(c)
+	}
+	if !converged {
+		// Positions are already written back (best effort); the caller
+		// decides whether to retry with a looser tolerance or keep them.
+		return fmt.Errorf("placer: global placement final solve: %w", ErrNonConverged)
 	}
 	return nil
 }
@@ -51,6 +61,9 @@ func Global(c *netlist.Circuit, opt Options) error {
 // incremental placement of the flow; it is "stable" in the paper's sense:
 // with no pseudo-nets it reproduces the input placement.
 func Incremental(c *netlist.Circuit, opt Options) error {
+	if err := faultinject.Hook(faultinject.SitePlacerIncremental); err != nil {
+		return err
+	}
 	if err := validate(c); err != nil {
 		return err
 	}
@@ -65,9 +78,12 @@ func Incremental(c *netlist.Circuit, opt Options) error {
 	ws := wsPool.Get().(*solveWS)
 	defer wsPool.Put(ws)
 	sys, _ := buildSystem(c, &opt)
-	sys.solve(opt.CGTol, opt.CGMaxIter, workers, ws)
+	converged := sys.solve(opt.CGTol, opt.CGMaxIter, workers, ws)
 	sys.writeBack(c)
 	if len(opt.PseudoNets) == 0 {
+		if !converged {
+			return fmt.Errorf("placer: incremental placement solve: %w", ErrNonConverged)
+		}
 		return nil // pure stability re-solve; nothing piled up
 	}
 	// One light equalization pass keeps pseudo-net pile-ups legalizable.
@@ -88,8 +104,11 @@ func Incremental(c *netlist.Circuit, opt Options) error {
 		}
 	}
 	sys, _ = buildSystem(c, &o2)
-	sys.solve(opt.CGTol, opt.CGMaxIter, workers, ws)
+	converged = sys.solve(opt.CGTol, opt.CGMaxIter, workers, ws)
 	sys.writeBack(c)
+	if !converged {
+		return fmt.Errorf("placer: incremental placement final solve: %w", ErrNonConverged)
+	}
 	return nil
 }
 

@@ -1,0 +1,47 @@
+package rotary
+
+import (
+	"math"
+	"testing"
+
+	"rotaryclk/internal/geom"
+)
+
+// FuzzSolveTap asserts the tapping solver's contract on arbitrary ring
+// geometry, flip-flop location, and delay target: it either returns a typed
+// error (bad input or ErrNoTap) or a tap whose fields are finite and
+// physically meaningful. It must never panic and never loop forever — the
+// Case-1 search is bounded and non-finite inputs are rejected up front.
+func FuzzSolveTap(f *testing.F) {
+	f.Add(500.0, 500.0, 300.0, 100.0, 250.0, 250.0, true)
+	f.Add(0.0, 0.0, 1.0, 0.0, 0.0, 0.0, false)
+	f.Add(500.0, 500.0, 300.0, -750.0, 480.0, 510.0, true)   // negative target
+	f.Add(500.0, 500.0, 300.0, 12345.0, 2000.0, -800.0, false) // far-away FF
+	f.Add(1e-9, 1e-9, 1e-12, 1e6, 1.0, 1.0, true)            // tiny ring, huge target
+	f.Add(math.NaN(), 0.0, 100.0, 50.0, 0.0, 0.0, true)      // non-finite inputs
+	f.Add(0.0, 0.0, math.Inf(1), 50.0, 0.0, 0.0, false)
+	f.Add(0.0, 0.0, -5.0, 50.0, 0.0, 0.0, true) // non-positive side
+	f.Fuzz(func(t *testing.T, cx, cy, side, tHat, fx, fy float64, ccw bool) {
+		dir := 1
+		if !ccw {
+			dir = -1
+		}
+		r := &Ring{ID: 0, Center: geom.Pt(cx, cy), Side: side, Dir: dir}
+		params := DefaultParams()
+		tap, err := SolveTap(r, params, geom.Pt(fx, fy), tHat)
+		if err != nil {
+			return // typed rejection is fine
+		}
+		if math.IsNaN(tap.WireLen) || math.IsInf(tap.WireLen, 0) || tap.WireLen < 0 {
+			t.Fatalf("tap wire length %v for ring side %v, ff (%v,%v), target %v",
+				tap.WireLen, side, fx, fy, tHat)
+		}
+		if math.IsNaN(tap.Delay) || math.IsInf(tap.Delay, 0) {
+			t.Fatalf("tap delay %v", tap.Delay)
+		}
+		if math.IsNaN(tap.Point.X) || math.IsNaN(tap.Point.Y) ||
+			math.IsInf(tap.Point.X, 0) || math.IsInf(tap.Point.Y, 0) {
+			t.Fatalf("tap point %v", tap.Point)
+		}
+	})
+}

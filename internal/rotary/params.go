@@ -8,6 +8,11 @@
 // Units: length in micrometers, time in picoseconds, resistance in kilo-ohms,
 // capacitance in femtofarads (so kOhm*fF = ps exactly), inductance in
 // picohenries.
+//
+// Error discipline: invalid caller-supplied data — non-physical Params,
+// non-finite tapping queries, degenerate ring geometry — returns errors; a
+// target that simply cannot be realized returns an error wrapping ErrNoTap.
+// The package does not panic on any input.
 package rotary
 
 import "fmt"

@@ -1,11 +1,20 @@
 package rotary
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
+	"rotaryclk/internal/faultinject"
 	"rotaryclk/internal/geom"
 )
+
+// ErrNoTap reports that a ring has no tapping point realizing the requested
+// delay target within the solver's stub and snaking limits. It is an
+// expected per-candidate outcome during assignment (the flow tries other
+// rings, or falls back to a nearest-point tap); callers classify it with
+// errors.Is.
+var ErrNoTap = errors.New("rotary: no tapping solution")
 
 // Tap is the result of solving the flexible-tapping equation (1) for one
 // flip-flop against one ring: the point on the ring to tap, the stub
@@ -31,8 +40,19 @@ type Tap struct {
 // whole periods; Cases 2-3 solve the two-parabola equation directly; Case 4
 // (target above the band) taps the segment end and snakes the stub.
 func SolveTap(r *Ring, params Params, ff geom.Point, tHat float64) (Tap, error) {
+	if err := faultinject.Hook(faultinject.SiteRotarySolveTap); err != nil {
+		return Tap{}, err
+	}
 	if err := params.Validate(); err != nil {
 		return Tap{}, err
+	}
+	// Non-finite queries have no answer, and NaN in particular would defeat
+	// the period-shifting loop's termination test below; reject them here.
+	if math.IsNaN(ff.X+ff.Y+tHat) || math.IsInf(ff.X, 0) || math.IsInf(ff.Y, 0) || math.IsInf(tHat, 0) {
+		return Tap{}, fmt.Errorf("rotary: non-finite tapping query (ff %v, target %v)", ff, tHat)
+	}
+	if r.Side <= 0 || math.IsNaN(r.Side) || math.IsInf(r.Side, 0) {
+		return Tap{}, fmt.Errorf("rotary: ring %d has invalid side %v", r.ID, r.Side)
 	}
 	T := params.Period
 	rho := r.Rho(T)
@@ -45,7 +65,7 @@ func SolveTap(r *Ring, params Params, ff geom.Point, tHat float64) (Tap, error) 
 		}
 	}
 	if math.IsInf(best.WireLen, 1) {
-		return Tap{}, fmt.Errorf("rotary: no tapping solution on ring %d for target %v", r.ID, tHat)
+		return Tap{}, fmt.Errorf("ring %d, target %v: %w", r.ID, tHat, ErrNoTap)
 	}
 	return best, nil
 }
@@ -122,12 +142,19 @@ func solveSegment(seg TapSegment, rho float64, params Params, ff geom.Point, tHa
 		minF = math.Min(minF, v)
 		maxF = math.Max(maxF, v)
 	}
+	if math.IsNaN(minF) || math.IsInf(minF, 0) || math.IsNaN(maxF) || math.IsInf(maxF, 0) {
+		return Tap{}, false // degenerate geometry; no band to search
+	}
 
 	// Case 1: shift the target up by whole periods until it reaches the
-	// band (clock phase is unchanged mod T).
+	// band (clock phase is unchanged mod T). The band spans a handful of
+	// periods on any physical ring; maxTapPeriods only guards the loop
+	// against pathological geometry (an enormous band would otherwise take
+	// (maxF-minF)/T iterations).
+	const maxTapPeriods = 10_000
 	k := int(math.Ceil((minF - tHat) / T))
 	best := Tap{WireLen: math.Inf(1)}
-	for ; ; k++ {
+	for iter := 0; iter < maxTapPeriods; iter, k = iter+1, k+1 {
 		tau := tHat + float64(k)*T
 		if tau > maxF+1e-9 {
 			break

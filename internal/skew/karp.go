@@ -2,6 +2,8 @@ package skew
 
 import (
 	"math"
+
+	"rotaryclk/internal/faultinject"
 )
 
 // MinCycleMean computes the minimum mean weight over all directed cycles of
@@ -90,6 +92,9 @@ func MinCycleMean(n int, cons []DiffConstraint) float64 {
 // and is asymptotically faster (one O(n*m) pass instead of O(log(1/eps))
 // Bellman-Ford runs).
 func MaxSlackExact(n int, pairs []SeqPair, T, setup, hold float64) (float64, []float64, error) {
+	if err := faultinject.Hook(faultinject.SiteSkewMaxSlack); err != nil {
+		return 0, nil, err
+	}
 	base := Constraints(pairs, T, 0, setup, hold)
 	m := MinCycleMean(n, base)
 	if math.IsInf(m, 1) {

@@ -13,14 +13,28 @@
 //
 // All schedules are vectors of clock delay targets t-hat indexed by
 // flip-flop index 0..n-1 (callers map netlist cell IDs to these indices).
+//
+// Error discipline: infeasibility of a caller-supplied constraint system is
+// an expected outcome and is returned as an error wrapping ErrInfeasible.
+// Panics are reserved for API misuse independent of the data — a constraint
+// referencing a variable outside [0,n) is a bug in the caller's index
+// mapping, not a property of the instance, and panics in Feasible.
 package skew
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
+	"rotaryclk/internal/faultinject"
 	"rotaryclk/internal/mcmf"
 )
+
+// ErrInfeasible marks schedules that do not exist: the difference-constraint
+// system (or its cost-driven extension) admits no solution. Callers match it
+// with errors.Is to drive recovery (relax the working slack, fall back to
+// the max-slack schedule).
+var ErrInfeasible = errors.New("skew: infeasible")
 
 // SeqPair is a sequentially adjacent flip-flop pair: U launches, V captures,
 // with extreme combinational delays between them.
@@ -116,7 +130,7 @@ func MaxSlack(n int, pairs []SeqPair, T, setup, hold, tol float64) (float64, []f
 		}
 		lo *= 2
 		if lo < -1e6*T {
-			return 0, nil, fmt.Errorf("skew: constraints infeasible even at slack %v", lo)
+			return 0, nil, fmt.Errorf("skew: constraints unsatisfiable even at slack %v: %w", lo, ErrInfeasible)
 		}
 	}
 	var bestT []float64
@@ -158,6 +172,9 @@ type Anchor struct {
 // It binary-searches Delta, checking feasibility of the extended constraint
 // graph (a ground node pins the absolute values).
 func MinDelta(n int, cons []DiffConstraint, anchors []Anchor, tol float64) (float64, []float64, error) {
+	if err := faultinject.Hook(faultinject.SiteSkewMinDelta); err != nil {
+		return 0, nil, err
+	}
 	if len(anchors) != n {
 		return 0, nil, fmt.Errorf("skew: %d anchors for %d flip-flops", len(anchors), n)
 	}
@@ -167,7 +184,7 @@ func MinDelta(n int, cons []DiffConstraint, anchors []Anchor, tol float64) (floa
 	// Base feasibility (Delta = inf) and an initial schedule to bound Delta.
 	t0, ok := Feasible(n, cons)
 	if !ok {
-		return 0, nil, fmt.Errorf("skew: difference constraints infeasible")
+		return 0, nil, fmt.Errorf("skew: difference constraints: %w", ErrInfeasible)
 	}
 	// Ground node n: t[n] = 0 by convention (it only enters via bound arcs,
 	// and the bound arcs force consistency with the absolute anchors).
@@ -259,11 +276,14 @@ func bestShift(t []float64, anchors []Anchor) float64 {
 // flip-flop exchanges up to w_i units with a ground node at cost +-target_i.
 // Optimal node potentials of the residual network recover the schedule.
 func WeightedSum(n int, cons []DiffConstraint, targets []float64, weights []float64) (float64, []float64, error) {
+	if err := faultinject.Hook(faultinject.SiteSkewWeightedSum); err != nil {
+		return 0, nil, err
+	}
 	if len(targets) != n || len(weights) != n {
 		return 0, nil, fmt.Errorf("skew: targets/weights length mismatch")
 	}
 	if _, ok := Feasible(n, cons); !ok {
-		return 0, nil, fmt.Errorf("skew: difference constraints infeasible")
+		return 0, nil, fmt.Errorf("skew: difference constraints: %w", ErrInfeasible)
 	}
 	g := mcmf.NewGraph(n + 1)
 	ground := n
@@ -294,7 +314,10 @@ func WeightedSum(n int, cons []DiffConstraint, targets []float64, weights []floa
 			fromG: g.AddArc(ground, i, wi[i], -targets[i]),
 		}
 	}
-	negCost := g.MinCostCirculation()
+	negCost, err := g.MinCostCirculation()
+	if err != nil {
+		return 0, nil, fmt.Errorf("skew: weighted-sum circulation: %w", err)
+	}
 	obj := -negCost
 
 	dist, ok := g.ResidualDistances(ground)

@@ -117,6 +117,30 @@ type (
 	Assigner = core.Assigner
 	// SkewObjective selects the stage-4 cost-driven objective.
 	SkewObjective = core.SkewObjective
+	// StageError is the typed failure of one flow stage; match with
+	// errors.As to branch on Result stage and failure Kind.
+	StageError = core.StageError
+	// StageEvent records one recovery or degradation action taken by Run
+	// (Result.Events).
+	StageEvent = core.StageEvent
+	// FailureKind classifies a stage failure (Infeasible, NonConverged,
+	// BudgetExceeded, InvalidInput, Internal). Named FailureKind at the
+	// facade because Kind already names the cell classifier.
+	FailureKind = core.Kind
+)
+
+// Stage-failure kinds (StageError.Kind, StageEvent.Kind).
+const (
+	// Infeasible: the posed subproblem has no solution.
+	Infeasible = core.Infeasible
+	// NonConverged: an iterative solver stagnated short of tolerance.
+	NonConverged = core.NonConverged
+	// BudgetExceeded: a solver hit its iteration or node budget.
+	BudgetExceeded = core.BudgetExceeded
+	// InvalidInput: caller-supplied data is malformed.
+	InvalidInput = core.InvalidInput
+	// Internal: a flow invariant broke; a bug, not an input property.
+	Internal = core.Internal
 )
 
 // Stage-3 assignment formulations.

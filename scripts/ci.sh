@@ -1,8 +1,11 @@
 #!/bin/sh
 # CI entry points for the repo: test, race, bench.
 #
-#   scripts/ci.sh test    go build + go test over every package (tier-1 gate)
+#   scripts/ci.sh test    go build + go vet + go test over every package
+#                         (tier-1 gate)
 #   scripts/ci.sh race    go test -race over every package (parallel kernels)
+#   scripts/ci.sh fuzz    smoke-fuzz every Fuzz target (10s each) on top of
+#                         the checked-in corpora under testdata/fuzz/
 #   scripts/ci.sh bench   run the benchmark suite with -benchmem and record
 #                         it as BENCH_baseline.json so future PRs have a
 #                         perf trajectory to compare against
@@ -19,10 +22,16 @@ cmd="${1:-test}"
 case "$cmd" in
 test)
     go build ./...
+    go vet ./...
     go test ./...
     ;;
 race)
     go test -race ./...
+    ;;
+fuzz)
+    fuzztime="${FUZZTIME:-10s}"
+    go test ./internal/netlist/ -fuzz '^FuzzParseBench$' -fuzztime "$fuzztime"
+    go test ./internal/rotary/ -fuzz '^FuzzSolveTap$' -fuzztime "$fuzztime"
     ;;
 bench)
     benchtime="${BENCHTIME:-1x}"
@@ -51,7 +60,7 @@ bench)
     echo "wrote $out (benchtime $benchtime)"
     ;;
 *)
-    echo "usage: scripts/ci.sh {test|race|bench}" >&2
+    echo "usage: scripts/ci.sh {test|race|fuzz|bench}" >&2
     exit 2
     ;;
 esac
