@@ -1,7 +1,7 @@
-# Tier-1 gate, race gate, fuzz smoke, and benchmark baseline.
-# See scripts/ci.sh.
+# Tier-1 gate, race gate, fuzz smoke, benchmark baseline, golden tables,
+# and coverage gate. See scripts/ci.sh.
 
-.PHONY: test race fuzz bench
+.PHONY: test race fuzz bench golden cover
 
 test:
 	sh scripts/ci.sh test
@@ -14,3 +14,9 @@ fuzz:
 
 bench:
 	sh scripts/ci.sh bench
+
+golden:
+	sh scripts/ci.sh golden
+
+cover:
+	sh scripts/ci.sh cover

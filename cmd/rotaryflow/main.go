@@ -6,6 +6,12 @@
 //
 //	rotaryflow -circuit s9234 [-scale 0.25] [-assigner flow|ilp] [-objective delta|sum] [-j 4]
 //	rotaryflow -bench path/to/circuit.bench -rings 16
+//	rotaryflow -circuit s9234 -metrics metrics.json -trace trace.txt -cpuprofile cpu.pprof
+//
+// -metrics / -trace arm the observability layer: the flow records solver
+// counters and a per-stage span tree, written as JSON (-metrics) or indented
+// text (-trace); "-" writes to stdout. The snapshots are written even when
+// the flow degrades or fails, so a stuck run can be diagnosed from its spans.
 package main
 
 import (
@@ -13,11 +19,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"rotaryclk/internal/bench"
 	"rotaryclk/internal/core"
 	"rotaryclk/internal/geom"
 	"rotaryclk/internal/netlist"
+	"rotaryclk/internal/obs"
 	"rotaryclk/internal/report"
 	"rotaryclk/internal/viz"
 )
@@ -41,7 +50,24 @@ func writeSVG(path string, c *netlist.Circuit, res *core.Result) error {
 	return err
 }
 
+// writeOut writes data to path, with "-" meaning stdout.
+func writeOut(path string, data []byte) error {
+	if path == "-" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
+}
+
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		circuit   = flag.String("circuit", "s9234", "suite circuit name (Table II)")
 		benchFile = flag.String("bench", "", "ISCAS89 .bench file (overrides -circuit)")
@@ -53,13 +79,46 @@ func main() {
 		svgOut    = flag.String("svg", "", "write the final placement + rings + taps as SVG to this file")
 		jobs      = flag.Int("j", 0, "parallel workers for the flow kernels (0 = all cores, 1 = serial; results identical)")
 		strict    = flag.Bool("strict", false, "fail on the first stage error instead of recovering/degrading")
+		metrics   = flag.String("metrics", "", "write the metrics snapshot (solver counters + span tree) as JSON to this file (\"-\" = stdout)")
+		trace     = flag.String("trace", "", "write the metrics snapshot as indented text to this file (\"-\" = stdout)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rotaryflow:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "rotaryflow:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memProf == "" {
+			return
+		}
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rotaryflow:", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "rotaryflow:", err)
+		}
+	}()
 
 	c, cfg, err := load(*circuit, *benchFile, *scale, *rings)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rotaryflow:", err)
-		os.Exit(1)
+		return 1
 	}
 	cfg.MaxIters = *iters
 	cfg.Parallelism = *jobs
@@ -70,7 +129,7 @@ func main() {
 		cfg.Assigner = core.ILP
 	default:
 		fmt.Fprintf(os.Stderr, "rotaryflow: unknown assigner %q\n", *assigner)
-		os.Exit(2)
+		return 2
 	}
 	switch *objective {
 	case "delta":
@@ -78,7 +137,26 @@ func main() {
 		cfg.Objective = core.WeightedSum
 	default:
 		fmt.Fprintf(os.Stderr, "rotaryflow: unknown objective %q\n", *objective)
-		os.Exit(2)
+		return 2
+	}
+	if *metrics != "" || *trace != "" {
+		cfg.Obs = obs.NewRegistry()
+		// The registry snapshot (not Result.Metrics) backs the export so the
+		// spans are written even on error exits; the deferred root End in
+		// core.Run guarantees they are closed.
+		defer func() {
+			snap := cfg.Obs.Snapshot()
+			if *metrics != "" {
+				if err := writeOut(*metrics, snap.JSON()); err != nil {
+					fmt.Fprintln(os.Stderr, "rotaryflow:", err)
+				}
+			}
+			if *trace != "" {
+				if err := writeOut(*trace, []byte(snap.Text())); err != nil {
+					fmt.Fprintln(os.Stderr, "rotaryflow:", err)
+				}
+			}
+		}()
 	}
 
 	st := c.Stats()
@@ -92,7 +170,7 @@ func main() {
 		if errors.As(err, &se) {
 			fmt.Fprintf(os.Stderr, "rotaryflow: failure kind: %s (stage %d)\n", se.Kind, se.Stage)
 		}
-		os.Exit(1)
+		return 1
 	}
 	for _, ev := range res.Events {
 		fmt.Fprintln(os.Stderr, "rotaryflow: recovery:", ev)
@@ -102,7 +180,7 @@ func main() {
 	}
 	if err := core.Audit(c, cfg, res); err != nil {
 		fmt.Fprintln(os.Stderr, "rotaryflow: AUDIT FAILED:", err)
-		os.Exit(1)
+		return 1
 	}
 
 	t := report.New("flow metrics (micrometers, femtofarads, milliwatts)",
@@ -120,7 +198,7 @@ func main() {
 	if *svgOut != "" {
 		if err := writeSVG(*svgOut, c, res); err != nil {
 			fmt.Fprintln(os.Stderr, "rotaryflow:", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("wrote %s\n", *svgOut)
 	}
@@ -129,6 +207,7 @@ func main() {
 	fmt.Printf("tapping WL improvement: %s\n", report.Percent((res.Base.TapWL-res.Final.TapWL)/res.Base.TapWL))
 	fmt.Printf("total WL improvement:   %s\n", report.Percent((res.Base.TotalWL-res.Final.TotalWL)/res.Base.TotalWL))
 	fmt.Printf("CPU: placement %.2fs, optimization %.2fs\n", res.PlaceSeconds, res.OptSeconds)
+	return 0
 }
 
 func load(name, benchFile string, scale float64, rings int) (*netlist.Circuit, core.Config, error) {

@@ -4,34 +4,83 @@
 // Usage:
 //
 //	rotarytables [-scale 0.2] [-ilp-budget 10s] [-circuits s9234,s5378] [-tables I,III,IV] [-j 4]
+//	rotarytables -metrics metrics.json -trace trace.txt -cpuprofile cpu.pprof
 //
 // Scale 1 runs the paper-size circuits (several minutes); the default scale
-// runs the whole matrix in about a minute.
+// runs the whole matrix in about a minute. -metrics / -trace arm per-flow
+// observability: each circuit's two flow runs record solver counters and a
+// span tree, a telemetry table is printed, and the per-circuit snapshots are
+// written as JSON (-metrics) or indented text (-trace).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"rotaryclk/internal/exp"
-	"rotaryclk/internal/report"
+	"rotaryclk/internal/obs"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
-		scale  = flag.Float64("scale", 0.2, "benchmark shrink factor (1 = paper size)")
-		budget = flag.Duration("ilp-budget", 10*time.Second, "wall-clock budget for the generic ILP baseline (Table I)")
-		subset = flag.String("circuits", "", "comma-separated circuit subset (default: all five)")
-		tables = flag.String("tables", "I,II,III,IV,V,VI,VII,Fig2,Var,Trees,Rings", "comma-separated tables to regenerate (Var/Trees/Rings are the extension studies)")
-		jobs   = flag.Int("j", 0, "parallel workers across circuits and kernels (0 = all cores, 1 = serial; identical tables either way)")
-		strict = flag.Bool("strict", false, "fail on the first flow stage error instead of recovering/degrading")
+		scale    = flag.Float64("scale", 0.2, "benchmark shrink factor (1 = paper size)")
+		budget   = flag.Duration("ilp-budget", 10*time.Second, "wall-clock budget for the generic ILP baseline (Table I)")
+		ilpNodes = flag.Int("ilp-nodes", 0, "B&B node budget for the Table I ILP baseline (replaces -ilp-budget; deterministic)")
+		subset   = flag.String("circuits", "", "comma-separated circuit subset (default: all five)")
+		tables   = flag.String("tables", "I,II,III,IV,V,VI,VII,Fig2,Var,Trees,Rings", "comma-separated tables to regenerate (Var/Trees/Rings are the extension studies)")
+		jobs     = flag.Int("j", 0, "parallel workers across circuits and kernels (0 = all cores, 1 = serial; identical tables either way)")
+		strict   = flag.Bool("strict", false, "fail on the first flow stage error instead of recovering/degrading")
+		metrics  = flag.String("metrics", "", "write per-circuit metrics snapshots (solver counters + span tree) as JSON to this file")
+		trace    = flag.String("trace", "", "write per-circuit metrics snapshots as indented text to this file")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 
-	opt := exp.Options{Scale: *scale, ILPBudget: *budget, Parallelism: *jobs, Strict: *strict}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rotarytables:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "rotarytables:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memProf == "" {
+			return
+		}
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rotarytables:", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "rotarytables:", err)
+		}
+	}()
+
+	opt := exp.Options{
+		Scale: *scale, ILPBudget: *budget, ILPNodes: *ilpNodes,
+		Parallelism: *jobs, Strict: *strict,
+		Metrics: *metrics != "" || *trace != "",
+	}
 	if *subset != "" {
 		opt.Circuits = strings.Split(*subset, ",")
 	}
@@ -41,7 +90,7 @@ func main() {
 	}
 
 	needRuns := want["II"] || want["III"] || want["IV"] || want["V"] || want["VI"] || want["VII"] ||
-		want["VAR"] || want["TREES"]
+		want["VAR"] || want["TREES"] || opt.Metrics
 	var runs []*exp.CircuitRun
 	if needRuns {
 		var err error
@@ -49,7 +98,7 @@ func main() {
 		runs, err = exp.RunAll(opt)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "rotarytables:", err)
-			os.Exit(1)
+			return 1
 		}
 	}
 
@@ -57,105 +106,43 @@ func main() {
 		rows, err := exp.TableI(opt)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "rotarytables:", err)
-			os.Exit(1)
+			return 1
 		}
-		t := report.New("Table I: integrality gap, greedy rounding vs generic ILP solver",
-			"circuit", "greedy IG", "greedy CPU(s)", "ILP IG", "ILP CPU(s)", "ILP status")
-		for _, r := range rows {
-			ig := "-"
-			if !r.ILPNoSol {
-				ig = report.FormatFloat(r.ILPIG)
-			}
-			t.Row(r.Name, r.GreedyIG, fmt.Sprintf("%.2f", r.GreedyCPU), ig,
-				fmt.Sprintf("%.2f", r.ILPCPU), r.ILPStatus)
-		}
-		fmt.Println(t)
+		fmt.Println(exp.RenderTableI(rows))
 	}
 	if want["II"] {
-		t := report.New("Table II: test cases (PL = avg source-sink path in conventional clock trees)",
-			"circuit", "#cells", "#FFs", "#nets", "PL(um)", "paper PL", "#rings")
-		for _, r := range exp.TableII(runs) {
-			t.Row(r.Name, r.Cells, r.FFs, r.Nets, r.PL, r.PaperPL, r.Rings)
-		}
-		fmt.Println(t)
+		fmt.Println(exp.RenderTableII(exp.TableII(runs)))
 	}
 	if want["III"] {
-		t := report.New("Table III: base case (wirelength um, power mW)",
-			"circuit", "AFD", "tap WL", "signal WL", "total WL", "clock P", "signal P", "total P", "CPU(s)")
-		for _, r := range exp.TableIII(runs) {
-			t.Row(r.Name, r.AFD, r.TapWL, r.SignalWL, r.TotalWL, r.ClockPower, r.SignalPower, r.TotalPower,
-				fmt.Sprintf("%.1f", r.CPU))
-		}
-		fmt.Println(t)
+		fmt.Println(exp.RenderTableIII(exp.TableIII(runs)))
 	}
 	if want["IV"] {
-		t := report.New("Table IV: network-flow optimization (improvements vs base case)",
-			"circuit", "AFD", "tap WL", "imp", "signal WL", "imp", "total WL", "imp", "opt CPU(s)", "place CPU(s)")
-		for _, r := range exp.TableIV(runs) {
-			t.Row(r.Name, r.AFD, r.TapWL, report.Percent(r.TapImp),
-				r.SignalWL, report.Percent(r.SignalImp),
-				r.TotalWL, report.Percent(r.TotalImp),
-				fmt.Sprintf("%.1f", r.OptCPU), fmt.Sprintf("%.1f", r.PlaceCPU))
-		}
-		fmt.Println(t)
+		fmt.Println(exp.RenderTableIV(exp.TableIV(runs)))
 	}
 	if want["V"] {
-		t := report.New("Table V: max load capacitance (fF), network flow vs ILP formulation",
-			"circuit", "flow cap", "flow AFD", "ILP AFD", "AFD imp", "ILP cap", "cap imp", "ILP total WL", "WL imp")
-		for _, r := range exp.TableV(runs) {
-			t.Row(r.Name, r.FlowCap, r.FlowAFD, r.ILPAFD, report.Percent(r.AFDImp),
-				r.ILPCap, report.Percent(r.CapImp), r.ILPWL, report.Percent(r.WLImp))
-		}
-		fmt.Println(t)
+		fmt.Println(exp.RenderTableV(exp.TableV(runs)))
 	}
 	if want["VI"] {
-		t := report.New("Table VI: power (mW), both formulations vs base case",
-			"circuit", "flow clk", "imp", "flow sig", "imp", "flow tot", "imp",
-			"ILP clk", "imp", "ILP sig", "imp", "ILP tot", "imp")
-		for _, r := range exp.TableVI(runs) {
-			t.Row(r.Name,
-				r.FlowClock, report.Percent(r.FlowClockImp),
-				r.FlowSignal, report.Percent(r.FlowSignalImp),
-				r.FlowTotal, report.Percent(r.FlowTotalImp),
-				r.ILPClock, report.Percent(r.ILPClockImp),
-				r.ILPSignal, report.Percent(r.ILPSignalImp),
-				r.ILPTotal, report.Percent(r.ILPTotalImp))
-		}
-		fmt.Println(t)
+		fmt.Println(exp.RenderTableVI(exp.TableVI(runs)))
 	}
 	if want["VII"] {
-		t := report.New("Table VII: wirelength-capacitance product (um*pF)",
-			"circuit", "network flow WCP", "ILP WCP", "imp")
-		for _, r := range exp.TableVII(runs) {
-			t.Row(r.Name, r.FlowWCP, r.ILPWCP, report.Percent(r.Imp))
-		}
-		fmt.Println(t)
+		fmt.Println(exp.RenderTableVII(exp.TableVII(runs)))
 	}
 	if want["VAR"] {
 		rows, err := exp.VariationStudy(runs)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "rotarytables:", err)
-			os.Exit(1)
+			return 1
 		}
-		t := report.New("Variability study (Section I motivation): skew deviation sigma (ps)",
-			"circuit", "rotary sigma", "tree sigma", "tree/rotary", "rotary max", "tree max")
-		for _, r := range rows {
-			t.Row(r.Name, r.RotSigma, r.TreeSigma, r.Ratio, r.RotMax, r.TreeMax)
-		}
-		fmt.Println(t)
+		fmt.Println(exp.RenderVariation(rows))
 	}
 	if want["TREES"] {
 		rows, err := exp.LocalTreeStudy(runs)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "rotarytables:", err)
-			os.Exit(1)
+			return 1
 		}
-		t := report.New("Local-tree study (Section IX future work): shared trunks vs individual stubs",
-			"circuit", "stub WL (um)", "tree WL (um)", "saved", "clusters")
-		for _, r := range rows {
-			t.Row(r.Name, r.BaseWL, r.TreeWL, report.Percent(r.SavedPct), r.Clusters)
-		}
-		fmt.Println(t)
+		fmt.Println(exp.RenderTrees(rows))
 	}
 	if want["RINGS"] {
 		name := "s9234"
@@ -165,36 +152,60 @@ func main() {
 		rows, err := exp.RingSweep(name, opt.Scale, nil)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "rotarytables:", err)
-			os.Exit(1)
+			return 1
 		}
-		t := report.New(fmt.Sprintf("Ring-count sweep on %s (Section IX future work)", name),
-			"#rings", "tap WL", "signal WL", "max cap", "WCP", "best")
-		for _, r := range rows {
-			mark := ""
-			if r.Best {
-				mark = "<== best"
-			}
-			t.Row(r.Rings, r.TapWL, r.SignalWL, r.MaxCap, r.WCP, mark)
-		}
-		fmt.Println(t)
+		fmt.Println(exp.RenderRings(name, rows))
 	}
 	if want["FIG2"] {
 		f, err := exp.Fig2Data()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "rotarytables:", err)
-			os.Exit(1)
+			return 1
 		}
-		t := report.New("Fig. 2: tapping-delay curve t_f(x) (20-point summary of 201 samples)",
-			"x (um)", "t_f(x) (ps)", "stub (um)")
-		for i := 0; i < len(f.Curve); i += len(f.Curve) / 20 {
-			cp := f.Curve[i]
-			t.Row(cp.X, cp.Delay, cp.Stub)
-		}
-		fmt.Println(t)
-		t2 := report.New("Fig. 2: the four target cases", "case", "target (ps)", "stub (um)", "periods", "snaked")
-		for _, cs := range f.Cases {
-			t2.Row(cs.Label, cs.Target, cs.Tap.WireLen, cs.Tap.Periods, cs.Tap.Snaked)
-		}
-		fmt.Println(t2)
+		fmt.Println(exp.RenderFig2(f))
 	}
+
+	if opt.Metrics {
+		fmt.Println(exp.RenderTelemetry(exp.TelemetryTable(runs)))
+		if err := writeSnapshots(*metrics, *trace, runs); err != nil {
+			fmt.Fprintln(os.Stderr, "rotarytables:", err)
+			return 1
+		}
+	}
+	return 0
+}
+
+// circuitSnapshots pairs the two flow snapshots of one circuit for export.
+type circuitSnapshots struct {
+	Flow *obs.Snapshot `json:"flow"`
+	ILP  *obs.Snapshot `json:"ilp"`
+}
+
+func writeSnapshots(metricsPath, tracePath string, runs []*exp.CircuitRun) error {
+	if metricsPath != "" {
+		byName := make(map[string]circuitSnapshots, len(runs))
+		for _, cr := range runs {
+			byName[cr.Bench.Name] = circuitSnapshots{Flow: cr.Flow.Metrics, ILP: cr.ILPFlow.Metrics}
+		}
+		data, err := json.MarshalIndent(byName, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(metricsPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", metricsPath)
+	}
+	if tracePath != "" {
+		var sb strings.Builder
+		for _, cr := range runs {
+			fmt.Fprintf(&sb, "=== %s (network flow) ===\n%s\n", cr.Bench.Name, cr.Flow.Metrics.Text())
+			fmt.Fprintf(&sb, "=== %s (ILP) ===\n%s\n", cr.Bench.Name, cr.ILPFlow.Metrics.Text())
+		}
+		if err := os.WriteFile(tracePath, []byte(sb.String()), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", tracePath)
+	}
+	return nil
 }

@@ -22,6 +22,7 @@ import (
 	"rotaryclk/internal/geom"
 	"rotaryclk/internal/lp"
 	"rotaryclk/internal/mcmf"
+	"rotaryclk/internal/obs"
 	"rotaryclk/internal/par"
 	"rotaryclk/internal/rotary"
 )
@@ -70,6 +71,14 @@ type Problem struct {
 	// account for the penalty. This is the flow's last-resort recovery, off
 	// by default.
 	TapFallback bool
+	// Obs receives assignment telemetry: tapping-query case distribution
+	// counters (deterministic — the query set depends only on the instance)
+	// and TapCache hit/miss stats (scheduling-dependent: concurrent misses
+	// on one key may both compute). Nil falls back to the armed global
+	// registry; disarmed costs one atomic load per solve.
+	Obs *obs.Registry
+
+	obsReg *obs.Registry // resolved once in normalize
 }
 
 // Assignment is the result of any of the assigners.
@@ -86,6 +95,7 @@ type Assignment struct {
 }
 
 func (p *Problem) normalize() error {
+	p.obsReg = obs.Resolve(p.Obs)
 	if p.Array == nil || len(p.Array.Rings) == 0 {
 		return fmt.Errorf("assign: no rotary rings")
 	}
@@ -130,12 +140,41 @@ type candidate struct {
 }
 
 // solveTap solves (or cache-looks-up) the tapping point of one candidate arc.
+// It is the telemetry point for the four-case distribution: the query set is
+// a pure function of the instance, so per-query counters stay deterministic
+// even though cache hit/miss (a stat) depends on scheduling.
 func (p *Problem) solveTap(ring int, pos geom.Point, target float64) (rotary.Tap, bool) {
+	reg := p.obsReg
+	var tap rotary.Tap
+	var ok bool
 	if p.Cache != nil {
-		return p.Cache.solve(p.Array, ring, pos, target)
+		var hit bool
+		tap, ok, hit = p.Cache.solve(p.Array, ring, pos, target)
+		if reg != nil {
+			if hit {
+				reg.Stat("assign.tapcache.hits", 1)
+			} else {
+				reg.Stat("assign.tapcache.misses", 1)
+			}
+		}
+	} else {
+		t, err := rotary.SolveTap(p.Array.Rings[ring], p.Array.Params, pos, target)
+		tap, ok = t, err == nil
 	}
-	tap, err := rotary.SolveTap(p.Array.Rings[ring], p.Array.Params, pos, target)
-	return tap, err == nil
+	if reg != nil {
+		reg.Add("assign.tap.queries", 1)
+		switch {
+		case !ok:
+			reg.Add("assign.tap.infeasible", 1)
+		case tap.Snaked:
+			reg.Add("assign.tap.case4", 1) // wire-snaking detour
+		case tap.Periods != 0:
+			reg.Add("assign.tap.case1", 1) // whole-period shift
+		default:
+			reg.Add("assign.tap.case23", 1) // direct root (two-root or unique)
+		}
+	}
+	return tap, ok
 }
 
 // candidates computes the pruned arc set: for each flip-flop, the K nearest
@@ -231,6 +270,9 @@ func (p *Problem) finish(choice []candidate) *Assignment {
 		}
 	}
 	a.AvgDist = a.Total / float64(len(choice))
+	if len(a.Fallbacks) > 0 {
+		p.obsReg.Add("assign.tap.fallbacks", int64(len(a.Fallbacks)))
+	}
 	return a
 }
 
@@ -249,8 +291,10 @@ func MinCost(p *Problem) (*Assignment, error) {
 	if err != nil {
 		return nil, err
 	}
+	p.obsReg.Add("assign.mincost.calls", 1)
 	nFF, nR := len(p.FFs), len(p.Array.Rings)
 	g := mcmf.NewGraph(2 + nFF + nR)
+	g.Obs = p.obsReg
 	s, t := 0, 1
 	ffNode := func(i int) int { return 2 + i }
 	ringNode := func(j int) int { return 2 + nFF + j }
@@ -313,8 +357,9 @@ func MinMaxCap(p *Problem) (*Assignment, *Relax, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	p.obsReg.Add("assign.minmaxcap.calls", 1)
 	prob, vars, z := buildMinMaxLP(p, cands, false)
-	sol, err := prob.SolveOpts(lp.Options{})
+	sol, err := prob.SolveOpts(lp.Options{Obs: p.obsReg})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -398,6 +443,9 @@ func MinMaxCapILP(p *Problem, opts lp.ILPOptions) (*Assignment, lp.ILPSolution, 
 		return nil, lp.ILPSolution{}, err
 	}
 	prob, vars, _ := buildMinMaxLP(p, cands, true)
+	if opts.Obs == nil {
+		opts.Obs = p.obsReg
+	}
 	sol, err := prob.SolveILP(opts)
 	if err != nil {
 		return nil, sol, err

@@ -49,20 +49,22 @@ func (tc *TapCache) Len() int {
 }
 
 // solve returns the memoized tapping solution for (ring, ff, target),
-// computing and recording it on a miss. Concurrent misses on the same key
-// may both compute, but SolveTap is pure so they store the same value.
-func (tc *TapCache) solve(arr *rotary.Array, ring int, ff geom.Point, target float64) (rotary.Tap, bool) {
+// computing and recording it on a miss, and reports whether the lookup hit.
+// Concurrent misses on the same key may both compute, but SolveTap is pure
+// so they store the same value — which is also why the hit/miss split is a
+// scheduling-dependent stat, never a deterministic counter.
+func (tc *TapCache) solve(arr *rotary.Array, ring int, ff geom.Point, target float64) (tap rotary.Tap, ok, hit bool) {
 	key := tapKey{ring: ring, x: ff.X, y: ff.Y, tgt: target}
 	tc.mu.RLock()
 	e, hit := tc.m[key]
 	tc.mu.RUnlock()
 	if hit {
-		return e.tap, e.ok
+		return e.tap, e.ok, true
 	}
-	tap, err := rotary.SolveTap(arr.Rings[ring], arr.Params, ff, target)
-	e = tapEntry{tap: tap, ok: err == nil}
+	t, err := rotary.SolveTap(arr.Rings[ring], arr.Params, ff, target)
+	e = tapEntry{tap: t, ok: err == nil}
 	tc.mu.Lock()
 	tc.m[key] = e
 	tc.mu.Unlock()
-	return e.tap, e.ok
+	return e.tap, e.ok, false
 }

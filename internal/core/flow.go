@@ -22,6 +22,7 @@ import (
 	"rotaryclk/internal/assign"
 	"rotaryclk/internal/geom"
 	"rotaryclk/internal/netlist"
+	"rotaryclk/internal/obs"
 	"rotaryclk/internal/placer"
 	"rotaryclk/internal/power"
 	"rotaryclk/internal/rotary"
@@ -88,6 +89,14 @@ type Config struct {
 	// CG, assignment candidate matrix): 0 = GOMAXPROCS, 1 = serial. Every
 	// value produces bit-identical results (see internal/par).
 	Parallelism int
+
+	// Obs receives the flow's telemetry: hierarchical spans around the six
+	// stages and each re-optimization iteration, plus the solver counters
+	// of every stage, flushed to Result.Metrics on exit (including
+	// Degraded exits). Nil falls back to the armed global registry (see
+	// internal/obs); fully disarmed, instrumentation costs one atomic
+	// load per solver entry and Result.Metrics stays nil.
+	Obs *obs.Registry
 }
 
 func (c *Config) normalize() {
@@ -167,6 +176,13 @@ type Result struct {
 
 	PlaceSeconds float64 // CPU in placement stages (1 and 6)
 	OptSeconds   float64 // CPU in stages 2-5
+
+	// Metrics is the observability snapshot of the run — per-stage and
+	// per-iteration spans plus every solver counter — taken at exit with
+	// all spans closed. It is populated on successful AND Degraded exits
+	// whenever a registry is in effect (Config.Obs set or the global
+	// registry armed), and nil when observability is disarmed.
+	Metrics *obs.Snapshot
 }
 
 // event appends a recovery/degradation record to the result log.
@@ -191,16 +207,33 @@ func Run(c *netlist.Circuit, cfg Config) (*Result, error) {
 		ffIdx[id] = i
 	}
 
+	// Observability: one root span for the run, a child per stage, and a
+	// child per re-optimization iteration. The deferred End is the
+	// structural guarantee that every span closes on every exit path —
+	// recovery ladders, Degraded breaks, and hard errors included — since
+	// End recursively closes open children. The snapshot flushed into
+	// Result.Metrics is taken after an explicit End at the result-returning
+	// exits, so recorded durations are final.
+	reg := obs.Resolve(cfg.Obs)
+	reg.Add("core.runs", 1)
+	root := reg.StartSpan("core.Run",
+		obs.S("circuit", c.Name),
+		obs.S("assigner", cfg.Assigner.String()),
+		obs.I("rings", cfg.NumRings),
+		obs.I("flipflops", n))
+	defer root.End()
+
 	// Stage 1: initial placement. Conjugate-gradients stagnation is the one
 	// recoverable failure here: the positions written back are a usable
 	// iterate, and one retry at a 100x looser tolerance almost always
 	// converges. Anything else in stage 1 is a hard error.
 	tPlace := time.Now()
+	s1 := root.Child("stage1.place")
 	if !cfg.SkipInitialPlace {
-		err := placer.Global(c, placer.Options{Parallelism: cfg.Parallelism})
+		err := placer.Global(c, placer.Options{Parallelism: cfg.Parallelism, Obs: reg})
 		if err != nil && errors.Is(err, placer.ErrNonConverged) && !cfg.Strict {
 			res.event(1, 0, NonConverged, "retrying global placement at 100x looser CG tolerance", err)
-			err = placer.Global(c, placer.Options{Parallelism: cfg.Parallelism, CGTol: 1e-4})
+			err = placer.Global(c, placer.Options{Parallelism: cfg.Parallelism, CGTol: 1e-4, Obs: reg})
 			if err != nil && errors.Is(err, placer.ErrNonConverged) {
 				// Both solves stagnated; the best-effort iterate is on the
 				// circuit and legalization makes it usable.
@@ -221,6 +254,7 @@ func Run(c *netlist.Circuit, cfg Config) (*Result, error) {
 			return nil, stageErr(1, 0, fmt.Errorf("detailed placement: %w", err))
 		}
 	}
+	s1.End()
 	res.PlaceSeconds += time.Since(tPlace).Seconds()
 
 	// Rotary ring array over the die.
@@ -234,6 +268,7 @@ func Run(c *netlist.Circuit, cfg Config) (*Result, error) {
 	// with nothing assigned yet there is no weaker schedule to fall back to,
 	// so an unsatisfiable constraint system is a hard (typed) failure.
 	tOpt := time.Now()
+	s2 := root.Child("stage2.maxslack")
 	pairs, err := seqPairs(c, cfg.TModel, ffIdx)
 	if err != nil {
 		return nil, stageErr(2, 0, err)
@@ -244,6 +279,8 @@ func Run(c *netlist.Circuit, cfg Config) (*Result, error) {
 	}
 	res.MaxSlack = M
 	res.Schedule = sched
+	s2.Set(obs.I("pairs", len(pairs)), obs.F("max_slack_ps", M))
+	s2.End()
 
 	// Stage 3: initial assignment -> base case metrics. The tapping-solve
 	// cache lives for the whole flow: across the re-optimization loop most
@@ -251,10 +288,12 @@ func Run(c *netlist.Circuit, cfg Config) (*Result, error) {
 	// the next, so their candidate arcs come from the cache instead of
 	// being re-solved.
 	tapCache := assign.NewTapCache()
-	asg, err := assignRecover(c, cfg, arr, res.FFCells, sched, tapCache, res, 0)
+	s3 := root.Child("stage3.assign")
+	asg, err := assignRecover(c, cfg, arr, res.FFCells, sched, tapCache, res, 0, reg)
 	if err != nil {
 		return nil, stageErr(3, 0, err)
 	}
+	s3.End()
 	res.Assign = asg
 	res.OptSeconds += time.Since(tOpt).Seconds()
 	res.Base = measure(c, cfg, asg, n)
@@ -302,9 +341,12 @@ func Run(c *netlist.Circuit, cfg Config) (*Result, error) {
 	}
 loop:
 	for iter := 1; iter <= cfg.MaxIters; iter++ {
+		reg.Add("core.iterations", 1)
+		itSp := root.Child("flow.iter", obs.I("iter", iter))
 		// Stage 6: pseudo-net incremental placement toward the current
 		// assignment's tapping points.
 		tPlace = time.Now()
+		sp6 := itSp.Child("stage6.place")
 		pn := make([]placer.PseudoNet, 0, n)
 		for i, id := range res.FFCells {
 			pn = append(pn, placer.PseudoNet{
@@ -313,10 +355,10 @@ loop:
 				Weight: cfg.PseudoWeight * float64(iter),
 			})
 		}
-		err := placer.Incremental(c, placer.Options{PseudoNets: pn, Parallelism: cfg.Parallelism})
+		err := placer.Incremental(c, placer.Options{PseudoNets: pn, Parallelism: cfg.Parallelism, Obs: reg})
 		if err != nil && errors.Is(err, placer.ErrNonConverged) && !cfg.Strict {
 			res.event(6, iter, NonConverged, "retrying incremental placement at 100x looser CG tolerance", err)
-			err = placer.Incremental(c, placer.Options{PseudoNets: pn, Parallelism: cfg.Parallelism, CGTol: 1e-4})
+			err = placer.Incremental(c, placer.Options{PseudoNets: pn, Parallelism: cfg.Parallelism, CGTol: 1e-4, Obs: reg})
 			if err != nil && errors.Is(err, placer.ErrNonConverged) {
 				res.event(6, iter, NonConverged, "keeping best-effort placement from stagnated solve", err)
 				err = nil
@@ -342,11 +384,13 @@ loop:
 			}
 			break loop
 		}
+		sp6.End()
 		res.PlaceSeconds += time.Since(tPlace).Seconds()
 
 		// Stage 4 on the new placement: re-derive the working slack and the
 		// cost-driven schedule.
 		tOpt = time.Now()
+		sp4 := itSp.Child("stage4.slack-refresh")
 		pairs, err = seqPairs(c, cfg.TModel, ffIdx)
 		if err != nil {
 			if se := fail(4, iter, err); se != nil {
@@ -367,27 +411,33 @@ loop:
 			// silently pretending the refresh happened.
 			res.event(2, iter, classify(err), "in-loop slack refresh failed; reusing previous working slack", err)
 		}
+		sp4.End()
 		// Inner fixed point of stages 4 and 3: the schedule chases the
 		// nearest ring phases and the assignment chases the schedule; two
 		// rounds settle the pair for the current placement.
 		for inner := 0; inner < 2; inner++ {
-			sched, mWork, err = costDrivenRecover(c, cfg, arr, res.FFCells, asg, sched, pairs, mWork, msSched, res, iter)
+			c4 := itSp.Child("stage4.skew", obs.I("round", inner))
+			sched, mWork, err = costDrivenRecover(c, cfg, arr, res.FFCells, asg, sched, pairs, mWork, msSched, res, iter, reg)
 			if err != nil {
 				if se := fail(4, iter, fmt.Errorf("cost-driven skew: %w", err)); se != nil {
 					return nil, se
 				}
 				break loop
 			}
-			asg, err = assignRecover(c, cfg, arr, res.FFCells, sched, tapCache, res, iter)
+			c4.End()
+			c3 := itSp.Child("stage3.assign", obs.I("round", inner))
+			asg, err = assignRecover(c, cfg, arr, res.FFCells, sched, tapCache, res, iter, reg)
 			if err != nil {
 				if se := fail(3, iter, fmt.Errorf("assignment: %w", err)); se != nil {
 					return nil, se
 				}
 				break loop
 			}
+			c3.End()
 		}
 		res.OptSeconds += time.Since(tOpt).Seconds()
 
+		sp5 := itSp.Child("stage5.evaluate")
 		m := measure(c, cfg, asg, n)
 		res.PerIter = append(res.PerIter, m)
 		res.Iterations = iter
@@ -400,13 +450,18 @@ loop:
 		// of total tapping cost and traditional placement cost. One stalled
 		// iteration is tolerated (the pseudo-net ramp often recovers it);
 		// two in a row end the loop.
+		converged := false
 		if prevCost-cost(m) < cfg.ConvergeTol*prevCost {
 			stall++
-			if stall >= 2 {
-				break
-			}
+			converged = stall >= 2
 		} else {
 			stall = 0
+		}
+		sp5.Set(obs.F("cost", cost(m)))
+		sp5.End()
+		itSp.End()
+		if converged {
+			break
 		}
 		prevCost = cost(m)
 	}
@@ -421,6 +476,18 @@ loop:
 	res.Schedule = best.sched
 	res.Final = best.m
 	res.WorkSlack = best.mWork
+	// Flush telemetry into the result. This is the one result-returning
+	// exit, shared by clean and Degraded runs alike: End the root span
+	// explicitly (idempotent; recursively closes spans a Degraded break
+	// left open) so every recorded duration is final, then snapshot.
+	if reg != nil {
+		reg.Add("core.events", int64(len(res.Events)))
+		if res.Degraded {
+			reg.Add("core.degraded", 1)
+		}
+		root.End()
+		res.Metrics = reg.Snapshot()
+	}
 	return res, nil
 }
 
@@ -449,7 +516,7 @@ func seqPairs(c *netlist.Circuit, m timing.Model, ffIdx map[int]int) ([]skew.Seq
 // runAssign builds and solves one stage-3 assignment instance with explicit
 // relaxation knobs (k candidate rings, per-ring capacity, tapping fallback).
 // A nil capacity uses assign's default.
-func runAssign(c *netlist.Circuit, cfg Config, arr *rotary.Array, ffCells []int, sched []float64, cache *assign.TapCache, k int, capacity []int, fallback bool) (*assign.Assignment, error) {
+func runAssign(c *netlist.Circuit, cfg Config, arr *rotary.Array, ffCells []int, sched []float64, cache *assign.TapCache, k int, capacity []int, fallback bool, reg *obs.Registry) (*assign.Assignment, error) {
 	ffs := make([]assign.FF, len(ffCells))
 	for i, id := range ffCells {
 		ffs[i] = assign.FF{Cell: id, Pos: c.Cells[id].Pos, Target: sched[i]}
@@ -462,6 +529,7 @@ func runAssign(c *netlist.Circuit, cfg Config, arr *rotary.Array, ffCells []int,
 		Parallelism: cfg.Parallelism,
 		Cache:       cache,
 		TapFallback: fallback,
+		Obs:         reg,
 	}
 	if cfg.Assigner == ILP {
 		a, _, err := assign.MinMaxCap(p)
@@ -475,7 +543,7 @@ func runAssign(c *netlist.Circuit, cfg Config, arr *rotary.Array, ffCells []int,
 // relaxed ring capacities, and as a last resort the nearest-point tapping
 // fallback (recorded, since fallback taps do not realize the skew targets).
 // Strict mode and non-infeasibility errors skip the ladder entirely.
-func assignRecover(c *netlist.Circuit, cfg Config, arr *rotary.Array, ffCells []int, sched []float64, cache *assign.TapCache, res *Result, iter int) (*assign.Assignment, error) {
+func assignRecover(c *netlist.Circuit, cfg Config, arr *rotary.Array, ffCells []int, sched []float64, cache *assign.TapCache, res *Result, iter int, reg *obs.Registry) (*assign.Assignment, error) {
 	numRings := len(arr.Rings)
 	k2 := cfg.K * 2
 	if k2 > numRings {
@@ -508,9 +576,10 @@ func assignRecover(c *netlist.Circuit, cfg Config, arr *rotary.Array, ffCells []
 	for si, st := range steps {
 		if si > 0 {
 			res.event(3, iter, Infeasible, st.action, err)
+			reg.Add("core.recover.assign", 1)
 		}
 		var a *assign.Assignment
-		a, err = runAssign(c, cfg, arr, ffCells, sched, cache, st.k, st.capacity, st.fallback)
+		a, err = runAssign(c, cfg, arr, ffCells, sched, cache, st.k, st.capacity, st.fallback, reg)
 		if err == nil {
 			if len(a.Fallbacks) > 0 {
 				res.event(3, iter, Infeasible,
@@ -530,7 +599,7 @@ func assignRecover(c *netlist.Circuit, cfg Config, arr *rotary.Array, ffCells []
 // infeasible it falls back to the fresh max-slack schedule (feasible by
 // construction). It returns the schedule and the margin it is feasible at.
 // Strict mode and non-infeasibility errors skip the ladder entirely.
-func costDrivenRecover(c *netlist.Circuit, cfg Config, arr *rotary.Array, ffCells []int, asg *assign.Assignment, sched []float64, pairs []skew.SeqPair, mWork float64, msSched []float64, res *Result, iter int) ([]float64, float64, error) {
+func costDrivenRecover(c *netlist.Circuit, cfg Config, arr *rotary.Array, ffCells []int, asg *assign.Assignment, sched []float64, pairs []skew.SeqPair, mWork float64, msSched []float64, res *Result, iter int, reg *obs.Registry) ([]float64, float64, error) {
 	T := cfg.Params.Period
 	ladder := []float64{mWork}
 	if mWork > 0 {
@@ -550,10 +619,12 @@ func costDrivenRecover(c *netlist.Circuit, cfg Config, arr *rotary.Array, ffCell
 		if li+1 < len(ladder) {
 			res.event(4, iter, Infeasible,
 				fmt.Sprintf("relaxing working slack to %.4g ps", ladder[li+1]), err)
+			reg.Add("core.recover.skew", 1)
 		}
 	}
 	if msSched != nil {
 		res.event(4, iter, Infeasible, "falling back to the max-slack schedule", err)
+		reg.Add("core.recover.skew", 1)
 		return msSched, mWork, nil
 	}
 	return nil, mWork, err

@@ -19,6 +19,7 @@ import (
 	"rotaryclk/internal/geom"
 	"rotaryclk/internal/lp"
 	"rotaryclk/internal/netlist"
+	"rotaryclk/internal/obs"
 	"rotaryclk/internal/par"
 	"rotaryclk/internal/placer"
 	"rotaryclk/internal/rotary"
@@ -43,6 +44,16 @@ type Options struct {
 	// Strict makes every flow run fail on the first stage error instead of
 	// running the recovery policies (core.Config.Strict).
 	Strict bool
+	// Metrics arms a fresh obs.Registry per flow run, so each CircuitRun's
+	// Flow.Metrics / ILPFlow.Metrics carries that run's counters and span
+	// tree (the TelemetryTable input). Off by default: disarmed runs cost
+	// one atomic load per solver entry and carry no metrics.
+	Metrics bool
+	// ILPNodes replaces the wall-clock ILPBudget of Table I with a
+	// branch-and-bound node budget when positive. Node budgets make the ILP
+	// columns deterministic (wall-clock budgets are not), which is what the
+	// golden-table harness needs.
+	ILPNodes int
 }
 
 func (o *Options) normalize() {
@@ -105,6 +116,14 @@ func runCircuit(b bench.Circuit, opt Options) (*CircuitRun, error) {
 	cfg := b.Config()
 	cfg.Parallelism = parallelism
 	cfg.Strict = opt.Strict
+	cfgILP := cfg
+	cfgILP.Assigner = core.ILP
+	if opt.Metrics {
+		// One registry per flow: the two runs race on wall-clock but not on
+		// each other's counters, and each Result.Metrics is self-contained.
+		cfg.Obs = obs.NewRegistry()
+		cfgILP.Obs = obs.NewRegistry()
+	}
 
 	var flowErr, ilpErr error
 	par.Do(par.Workers(parallelism),
@@ -146,8 +165,6 @@ func runCircuit(b bench.Circuit, opt Options) (*CircuitRun, error) {
 				ilpErr = err
 				return
 			}
-			cfgILP := cfg
-			cfgILP.Assigner = core.ILP
 			cr.ILPFlow, err = core.Run(c2, cfgILP)
 			if err != nil {
 				ilpErr = fmt.Errorf("exp: %s ILP run: %w", b.Name, err)
@@ -224,8 +241,14 @@ func TableI(opt Options) ([]RowI, error) {
 		}
 		greedyCPU := time.Since(t0).Seconds()
 
+		ilpOpt := lp.ILPOptions{TimeLimit: opt.ILPBudget}
+		if opt.ILPNodes > 0 {
+			// Node budgets are deterministic where wall-clock budgets are
+			// not; the golden harness runs Table I this way.
+			ilpOpt = lp.ILPOptions{MaxNodes: opt.ILPNodes}
+		}
 		t0 = time.Now()
-		ilpA, ilpSol, err := assign.MinMaxCapILP(prob, lp.ILPOptions{TimeLimit: opt.ILPBudget})
+		ilpA, ilpSol, err := assign.MinMaxCapILP(prob, ilpOpt)
 		if err != nil {
 			errs[i] = fmt.Errorf("exp: %s ILP baseline: %w", b.Name, err)
 			return

@@ -1,0 +1,179 @@
+package exp
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The golden-table regression harness locks the rendered text of Tables I-VII
+// (the same bytes cmd/rotarytables prints) against checked-in goldens. The
+// runs are fully deterministic: wall-clock columns are zeroed and the Table I
+// ILP baseline uses a node budget instead of a time budget. Regenerate with
+//
+//	go test ./internal/exp -run TestGoldenTables -update
+var update = flag.Bool("update", false, "rewrite the golden tables in testdata/")
+
+// goldenOpt pins the configuration the goldens were recorded under. Changing
+// anything here invalidates every golden.
+func goldenOpt() Options {
+	return Options{
+		Scale:    0.12,
+		ILPNodes: 2000,
+		Circuits: []string{"s9234", "s5378"},
+	}
+}
+
+// goldenPath returns the golden file for one table.
+func goldenPath(name string) string {
+	return filepath.Join("testdata", "table_"+name+".golden")
+}
+
+// diffGolden compares rendered output against the golden bytes and reports
+// the first mismatching line with both versions, so a regression names the
+// exact cell that moved.
+func diffGolden(name string, got, want []byte) error {
+	if string(got) == string(want) {
+		return nil
+	}
+	gl := strings.Split(string(got), "\n")
+	wl := strings.Split(string(want), "\n")
+	n := len(gl)
+	if len(wl) > n {
+		n = len(wl)
+	}
+	for i := 0; i < n; i++ {
+		var g, w string
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if g != w {
+			return fmt.Errorf("table %s: line %d differs\n  got:  %q\n  want: %q\n(run with -update to accept)", name, i+1, g, w)
+		}
+	}
+	return fmt.Errorf("table %s: output differs only in length (%d vs %d lines)", name, len(gl), len(wl))
+}
+
+// checkGolden compares got against testdata/table_<name>.golden, rewriting
+// the golden in -update mode.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := goldenPath(name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to record): %v", err)
+	}
+	if err := diffGolden(name, []byte(got), want); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// goldenTables renders every locked table from one deterministic run, with
+// the wall-clock columns zeroed.
+func goldenTables(t *testing.T) map[string]string {
+	t.Helper()
+	opt := goldenOpt()
+	runs, err := RunAll(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowsI, err := TableI(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rowsI {
+		rowsI[i].GreedyCPU, rowsI[i].ILPCPU = 0, 0
+	}
+	rowsIII := TableIII(runs)
+	for i := range rowsIII {
+		rowsIII[i].CPU = 0
+	}
+	rowsIV := TableIV(runs)
+	for i := range rowsIV {
+		rowsIV[i].OptCPU, rowsIV[i].PlaceCPU = 0, 0
+	}
+	return map[string]string{
+		"I":   RenderTableI(rowsI),
+		"II":  RenderTableII(TableII(runs)),
+		"III": RenderTableIII(rowsIII),
+		"IV":  RenderTableIV(rowsIV),
+		"V":   RenderTableV(TableV(runs)),
+		"VI":  RenderTableVI(TableVI(runs)),
+		"VII": RenderTableVII(TableVII(runs)),
+	}
+}
+
+// TestGoldenTables is the regression gate: the rendered Tables I-VII of the
+// pinned deterministic configuration must match the checked-in goldens
+// byte for byte.
+func TestGoldenTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden run is not short")
+	}
+	tables := goldenTables(t)
+	for _, name := range []string{"I", "II", "III", "IV", "V", "VI", "VII"} {
+		t.Run("Table"+name, func(t *testing.T) {
+			checkGolden(t, name, tables[name])
+		})
+	}
+}
+
+// TestGoldenDetectsPerturbation is the harness's negative test: flipping a
+// single digit of a single cell must fail the comparison and the failure must
+// name the perturbed line. A diff that cannot see one cell move is no gate.
+func TestGoldenDetectsPerturbation(t *testing.T) {
+	want, err := os.ReadFile(goldenPath("II"))
+	if err != nil {
+		t.Fatalf("missing golden (run TestGoldenTables with -update first): %v", err)
+	}
+	lines := strings.Split(string(want), "\n")
+	// Perturb one digit in the first data row (title, header, rule precede it).
+	row := -1
+	for i, l := range lines {
+		if strings.Contains(l, "s9234") {
+			row = i
+			break
+		}
+	}
+	if row < 0 {
+		t.Fatalf("golden II has no s9234 row:\n%s", want)
+	}
+	perturbed := lines[row]
+	// Perturb the first digit after the circuit-name column, i.e. one digit
+	// of the first numeric cell.
+	pos := strings.Index(perturbed, "s9234") + len("s9234")
+	idx := strings.IndexAny(perturbed[pos:], "0123456789")
+	if idx < 0 {
+		t.Fatalf("no digit to perturb in %q", perturbed)
+	}
+	idx += pos
+	flip := byte('0')
+	if d := perturbed[idx]; d != '9' {
+		flip = d + 1
+	}
+	lines[row] = perturbed[:idx] + string(flip) + perturbed[idx+1:]
+	got := strings.Join(lines, "\n")
+
+	diff := diffGolden("II", []byte(got), want)
+	if diff == nil {
+		t.Fatal("one-cell perturbation passed the golden comparison")
+	}
+	if !strings.Contains(diff.Error(), fmt.Sprintf("line %d", row+1)) {
+		t.Errorf("diff does not name the perturbed line: %v", diff)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"rotaryclk/internal/faultinject"
+	"rotaryclk/internal/obs"
 )
 
 // ILPOptions bounds the branch-and-bound search. The paper's Table I runs a
@@ -18,6 +19,9 @@ type ILPOptions struct {
 	TimeLimit time.Duration // 0 = no limit
 	MaxNodes  int           // 0 = DefaultMaxNodes when TimeLimit is also 0; < 0 = no limit
 	LP        Options       // per-node LP options
+	// Obs receives search telemetry (node/incumbent counters) and is also
+	// installed as the per-node LP registry when LP.Obs is nil.
+	Obs *obs.Registry
 }
 
 // DefaultMaxNodes is the branch-and-bound node cap applied when ILPOptions
@@ -77,6 +81,11 @@ func (p *Problem) SolveILP(opts ILPOptions) (ILPSolution, error) {
 	if opts.MaxNodes == 0 && opts.TimeLimit <= 0 {
 		opts.MaxNodes = DefaultMaxNodes
 	}
+	if opts.LP.Obs == nil {
+		opts.LP.Obs = opts.Obs
+	}
+	reg := obs.Resolve(opts.Obs)
+	incumbents := int64(0)
 	deadline := time.Time{}
 	if opts.TimeLimit > 0 {
 		deadline = time.Now().Add(opts.TimeLimit)
@@ -89,6 +98,21 @@ func (p *Problem) SolveILP(opts ILPOptions) (ILPSolution, error) {
 	stack := []node{root}
 
 	res := ILPSolution{Status: ILPNoSolution, Obj: math.Inf(1), Bound: math.Inf(-1)}
+	if reg != nil {
+		defer func() {
+			// Node and incumbent counts are deterministic under node
+			// budgets; a TimeLimit makes them wall-clock-dependent, which
+			// is why the determinism harnesses always set MaxNodes.
+			reg.Add("lp.bb.solves", 1)
+			reg.Add("lp.bb.nodes", int64(res.Nodes))
+			reg.Add("lp.bb.incumbents", incumbents)
+			if res.BudgetHit {
+				// Time budgets stop at a wall-clock-dependent node, so the
+				// tally is a stat, not a deterministic counter.
+				reg.Stat("lp.bb.budgethit", 1)
+			}
+		}()
+	}
 	rootBoundSet := false
 	sawInfeasibleOnly := true
 
@@ -147,6 +171,7 @@ func (p *Problem) SolveILP(opts ILPOptions) (ILPSolution, error) {
 			res.Obj = sol.Obj
 			res.X = roundIntegers(p, sol.X)
 			res.Status = ILPFeasible
+			incumbents++
 			continue
 		}
 

@@ -24,6 +24,7 @@ import (
 	"math"
 
 	"rotaryclk/internal/faultinject"
+	"rotaryclk/internal/obs"
 )
 
 // ErrBudget classifies solves stopped by an iteration, node, or time budget
@@ -187,6 +188,10 @@ func (p *Problem) Solve() (Solution, error) {
 type Options struct {
 	MaxIters int     // 0 means automatic (50*(m+n)+10000)
 	Tol      float64 // feasibility/optimality tolerance; 0 means 1e-9
+	// Obs receives solver telemetry (solve and pivot counters). Nil falls
+	// back to the armed global registry; disarmed costs one atomic load
+	// per solve (see internal/obs).
+	Obs *obs.Registry
 }
 
 func (o *Options) normalize(m, n int) {
@@ -211,7 +216,17 @@ func (p *Problem) SolveOpts(opts Options) (Solution, error) {
 		return Solution{Status: Infeasible}, err
 	}
 	opts.normalize(s.m, s.n)
-	return s.solve(opts)
+	sol, err := s.solve(opts)
+	// One record per solve: pivots accumulate in Solution.Iters, so the
+	// simplex loop itself stays untouched (and lock-free).
+	if reg := obs.Resolve(opts.Obs); reg != nil {
+		reg.Add("lp.simplex.solves", 1)
+		reg.Add("lp.simplex.pivots", int64(sol.Iters))
+		if sol.Status == IterLimit {
+			reg.Add("lp.simplex.iterlimit", 1)
+		}
+	}
+	return sol, err
 }
 
 // BudgetExceeded reports whether the solve stopped on its iteration budget

@@ -20,6 +20,7 @@ import (
 	"math"
 
 	"rotaryclk/internal/faultinject"
+	"rotaryclk/internal/obs"
 )
 
 // ErrNegativeCycle reports that the input graph contains a reachable
@@ -48,6 +49,11 @@ type Graph struct {
 	adj  [][]int32 // node -> arc indices
 	pot  []float64 // Johnson potentials
 	orig []int     // original capacity per forward arc (even indices)
+
+	// Obs receives solver telemetry (augmenting paths, shortest-path edge
+	// relaxations, units pushed). Nil falls back to the armed global
+	// registry; disarmed costs one atomic load per MinCostFlow call.
+	Obs *obs.Registry
 }
 
 // NewGraph returns a graph with n nodes (0..n-1).
@@ -116,7 +122,7 @@ func (p *pq) Pop() interface{} {
 // dijkstra computes shortest reduced-cost distances from s. Reduced costs
 // must be non-negative (guaranteed by the potential invariant). It returns
 // dist and the predecessor arc per node (-1 if unreached).
-func (g *Graph) dijkstra(s int) (dist []float64, prev []int32) {
+func (g *Graph) dijkstra(s int) (dist []float64, prev []int32, relaxed int) {
 	dist = make([]float64, g.n)
 	prev = make([]int32, g.n)
 	done := make([]bool, g.n)
@@ -150,16 +156,17 @@ func (g *Graph) dijkstra(s int) (dist []float64, prev []int32) {
 			if nd := dist[u] + rc; nd < dist[a.to]-1e-15 {
 				dist[a.to] = nd
 				prev[a.to] = ai
+				relaxed++
 				heap.Push(h, pqItem{node: a.to, dist: nd})
 			}
 		}
 	}
-	return dist, prev
+	return dist, prev, relaxed
 }
 
 // bellmanFord initializes potentials when negative-cost arcs are present.
 // It returns false if a negative cycle is reachable (costs unbounded).
-func (g *Graph) bellmanFord() bool {
+func (g *Graph) bellmanFord() (ok bool, relaxed int) {
 	for i := range g.pot {
 		g.pot[i] = 0
 	}
@@ -173,15 +180,16 @@ func (g *Graph) bellmanFord() bool {
 				}
 				if nd := g.pot[u] + a.cost; nd < g.pot[a.to]-1e-12 {
 					g.pot[a.to] = nd
+					relaxed++
 					changed = true
 				}
 			}
 		}
 		if !changed {
-			return true
+			return true, relaxed
 		}
 	}
-	return false
+	return false, relaxed
 }
 
 // MinCostFlow pushes up to maxFlow units from s to t along successive
@@ -199,6 +207,17 @@ func (g *Graph) MinCostFlow(s, t, maxFlow int) (flow int, cost float64, err erro
 	if maxFlow < 0 {
 		maxFlow = math.MaxInt64 / 4
 	}
+	// Telemetry accumulates locally and records once at exit; the search
+	// loops stay lock-free.
+	paths, relaxed := 0, 0
+	if reg := obs.Resolve(g.Obs); reg != nil {
+		defer func() {
+			reg.Add("mcmf.solves", 1)
+			reg.Add("mcmf.paths", int64(paths))
+			reg.Add("mcmf.relaxations", int64(relaxed))
+			reg.Add("mcmf.flow", int64(flow))
+		}()
+	}
 	g.pot = make([]float64, g.n)
 	hasNeg := false
 	for i := range g.arcs {
@@ -208,12 +227,15 @@ func (g *Graph) MinCostFlow(s, t, maxFlow int) (flow int, cost float64, err erro
 		}
 	}
 	if hasNeg {
-		if !g.bellmanFord() {
+		ok, r := g.bellmanFord()
+		relaxed += r
+		if !ok {
 			return 0, 0, ErrNegativeCycle
 		}
 	}
 	for flow < maxFlow {
-		dist, prev := g.dijkstra(s)
+		dist, prev, r := g.dijkstra(s)
+		relaxed += r
 		if prev[t] < 0 {
 			break
 		}
@@ -234,6 +256,7 @@ func (g *Graph) MinCostFlow(s, t, maxFlow int) (flow int, cost float64, err erro
 			v = g.arcs[int(ai)^1].to
 		}
 		flow += push
+		paths++
 		// Update potentials; unreachable nodes keep their old potential.
 		for v := 0; v < g.n; v++ {
 			if !math.IsInf(dist[v], 1) {

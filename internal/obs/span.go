@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Span is one timed region of the flow, possibly with children. Spans form
+// trees under a Registry root. A nil *Span is a valid no-op (the disarmed
+// case), so instrumented code calls Child/Set/End unconditionally.
+//
+// End is idempotent and recursively ends any still-open children, which is
+// the structural guarantee behind "stage timings survive every recovery
+// path": core.Run defers root.End(), so a span left open by an error return
+// or a recovery-ladder break is closed (with the enclosing duration) rather
+// than lost.
+type Span struct {
+	mu       sync.Mutex
+	name     string
+	attrs    []Attr
+	start    time.Time
+	dur      time.Duration
+	ended    bool
+	children []*Span
+}
+
+func newSpan(name string, attrs []Attr) *Span {
+	return &Span{name: name, attrs: attrs, start: time.Now()}
+}
+
+// Child opens a sub-span. Nil-safe.
+func (s *Span) Child(name string, attrs ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	c := newSpan(name, attrs)
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// Set appends attributes (e.g. results known only at stage exit). Nil-safe.
+func (s *Span) Set(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, attrs...)
+	s.mu.Unlock()
+}
+
+// End closes the span, recording its duration. Idempotent; recursively ends
+// open children first so a parent's End is a complete flush. Nil-safe.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	// End children outside the parent's lock (tree structure: no cycles).
+	for _, c := range children {
+		c.End()
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.dur = time.Since(s.start)
+	}
+	s.mu.Unlock()
+}
+
+// data snapshots the span subtree. Open spans report their duration so far
+// and are flagged Open.
+func (s *Span) data() *SpanData {
+	s.mu.Lock()
+	d := &SpanData{Name: s.name, Attrs: append([]Attr(nil), s.attrs...)}
+	if s.ended {
+		d.Ms = float64(s.dur) / float64(time.Millisecond)
+	} else {
+		d.Open = true
+		d.Ms = float64(time.Since(s.start)) / float64(time.Millisecond)
+	}
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range children {
+		d.Children = append(d.Children, c.data())
+	}
+	return d
+}

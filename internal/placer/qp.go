@@ -26,6 +26,7 @@ import (
 	"rotaryclk/internal/faultinject"
 	"rotaryclk/internal/geom"
 	"rotaryclk/internal/netlist"
+	"rotaryclk/internal/obs"
 	"rotaryclk/internal/par"
 )
 
@@ -68,6 +69,10 @@ type Options struct {
 	// goroutines). Results are bit-identical for every value — chunk
 	// boundaries and reduction order are fixed (see internal/par).
 	Parallelism int
+	// Obs receives solver telemetry (CG solves/iterations counters, exit
+	// residual gauge). Nil falls back to the armed global registry; fully
+	// disarmed costs one atomic load per solve (see internal/obs).
+	Obs *obs.Registry
 }
 
 func (o *Options) normalize(movable int) {
@@ -100,6 +105,7 @@ type system struct {
 	posX  []float64
 	posY  []float64
 	cells []int // unknown index -> cell ID (star nodes: -1)
+	obs   *obs.Registry // resolved once at build; nil when disarmed
 }
 
 func (s *system) addEdge(i, j int, w float64) {
@@ -147,6 +153,7 @@ func buildSystem(c *netlist.Circuit, opt *Options) (*system, map[int]int) {
 		posX:  make([]float64, n),
 		posY:  make([]float64, n),
 		cells: make([]int, n),
+		obs:   obs.Resolve(opt.Obs),
 	}
 	for i := range s.cells {
 		s.cells[i] = -1
@@ -318,6 +325,23 @@ func (s *system) cg(x, b []float64, tol float64, maxIter, workers int, ws *cgScr
 	if n == 0 {
 		return true
 	}
+	// Telemetry accumulates locally and records once at exit (registry
+	// methods lock; the CG inner loop must stay lock-free). Counters
+	// (solves, iterations) are deterministic; the exit residual is a
+	// last-write gauge because the two axis solves race on it.
+	iters := 0
+	converged := false
+	rel := math.Inf(1)
+	if reg := s.obs; reg != nil {
+		defer func() {
+			reg.Add("placer.cg.solves", 1)
+			reg.Add("placer.cg.iters", int64(iters))
+			if !converged {
+				reg.Add("placer.cg.stagnated", 1)
+			}
+			reg.Gauge("placer.cg.residual", rel)
+		}()
+	}
 	ws.ensure(n)
 	r, z, p, ap := ws.r, ws.z, ws.p, ws.ap
 	s.mulvec(x, r, workers)
@@ -342,6 +366,8 @@ func (s *system) cg(x, b []float64, tol float64, maxIter, workers int, ws *cgScr
 	for iter := 0; iter < maxIter; iter++ {
 		rn := dot(r, r, workers)
 		if math.Sqrt(rn) <= tol*bnorm {
+			rel = math.Sqrt(rn) / bnorm
+			converged = true
 			return true
 		}
 		s.mulvec(p, ap, workers)
@@ -349,7 +375,10 @@ func (s *system) cg(x, b []float64, tol float64, maxIter, workers int, ws *cgScr
 		if pap <= 0 {
 			// Numerical breakdown; current x is best effort. Converged only
 			// if the residual already meets the tolerance.
-			return math.Sqrt(dot(r, r, workers)) <= tol*bnorm
+			rcur := math.Sqrt(dot(r, r, workers))
+			rel = rcur / bnorm
+			converged = rcur <= tol*bnorm
+			return converged
 		}
 		alpha := rz / pap
 		par.Chunks(workers, n, vecGrain, func(lo, hi int) {
@@ -373,9 +402,13 @@ func (s *system) cg(x, b []float64, tol float64, maxIter, workers int, ws *cgScr
 				p[i] = z[i] + beta*p[i]
 			}
 		})
+		iters++
 	}
 	// Iteration budget exhausted: residual stagnated above tolerance.
-	return math.Sqrt(dot(r, r, workers)) <= tol*bnorm
+	rcur := math.Sqrt(dot(r, r, workers))
+	rel = rcur / bnorm
+	converged = rcur <= tol*bnorm
+	return converged
 }
 
 // writeBack clamps solved positions into the die and stores them on the

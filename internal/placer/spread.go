@@ -7,6 +7,7 @@ import (
 	"rotaryclk/internal/faultinject"
 	"rotaryclk/internal/geom"
 	"rotaryclk/internal/netlist"
+	"rotaryclk/internal/obs"
 	"rotaryclk/internal/par"
 )
 
@@ -25,6 +26,7 @@ func Global(c *netlist.Circuit, opt Options) error {
 	if c.NumMovable() == 0 {
 		return nil
 	}
+	obs.Resolve(opt.Obs).Add("placer.global.calls", 1)
 	workers := par.Workers(opt.Parallelism)
 	ws := wsPool.Get().(*solveWS)
 	defer wsPool.Put(ws)
@@ -74,6 +76,7 @@ func Incremental(c *netlist.Circuit, opt Options) error {
 	if opt.AnchorWeight <= 0 {
 		opt.AnchorWeight = 6.0
 	}
+	obs.Resolve(opt.Obs).Add("placer.incremental.calls", 1)
 	workers := par.Workers(opt.Parallelism)
 	ws := wsPool.Get().(*solveWS)
 	defer wsPool.Put(ws)

@@ -7,6 +7,7 @@ import (
 
 	"rotaryclk/internal/faultinject"
 	"rotaryclk/internal/geom"
+	"rotaryclk/internal/obs"
 )
 
 // ErrNoTap reports that a ring has no tapping point realizing the requested
@@ -43,6 +44,11 @@ func SolveTap(r *Ring, params Params, ff geom.Point, tHat float64) (Tap, error) 
 	if err := faultinject.Hook(faultinject.SiteRotarySolveTap); err != nil {
 		return Tap{}, err
 	}
+	// Raw solve tally on the global registry (rotary has no options struct
+	// on this hot path). A stat, not a counter: with a TapCache upstream the
+	// number of solves reaching here depends on scheduling. The per-query
+	// case distribution is counted deterministically in assign.solveTap.
+	obs.Resolve(nil).Stat("rotary.solvetap.solves", 1)
 	if err := params.Validate(); err != nil {
 		return Tap{}, err
 	}

@@ -1,0 +1,163 @@
+package skew
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Property-based tests over random small constraint graphs. The properties
+// are the contracts the flow relies on:
+//
+//  1. the max-slack schedule achieves its claimed slack on every setup and
+//     hold constraint (so for M >= 0 no slack is negative), and
+//  2. the cost-driven variants (MinDelta, WeightedSum) never push any slack
+//     below the working bound their constraint system encodes.
+
+const (
+	propT     = 1000.0
+	propSetup = 30.0
+	propHold  = 15.0
+	propTol   = 1e-4
+	// slackEps absorbs the binary-search tolerance and Bellman-Ford's 1e-9
+	// relaxation epsilon.
+	slackEps = 1e-3
+)
+
+// pairSlacks returns the worst setup and hold slack of a schedule at slack
+// margin 0 (i.e. the raw per-pair slacks of formulation (6)-(7)).
+func pairSlacks(t []float64, pairs []SeqPair) (setup, hold float64) {
+	setup, hold = math.Inf(1), math.Inf(1)
+	for _, p := range pairs {
+		d := t[p.U] - t[p.V]
+		setup = math.Min(setup, propT-p.DMax-propSetup-d)
+		hold = math.Min(hold, p.DMin-propHold+d)
+	}
+	return setup, hold
+}
+
+func TestPropertyMaxSlackAchievesItsSlack(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	trials := 0
+	for trials < 30 {
+		n := 3 + rng.Intn(6)
+		pairs := buildRandomPairs(rng, n)
+		if len(pairs) == 0 {
+			continue
+		}
+		trials++
+		M, sched, err := MaxSlack(n, pairs, propT, propSetup, propHold, propTol)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trials, err)
+		}
+		setup, hold := pairSlacks(sched, pairs)
+		worst := math.Min(setup, hold)
+		// The schedule must realize the claimed slack on every constraint...
+		if worst < M-slackEps {
+			t.Fatalf("trial %d: worst slack %v below claimed M=%v", trials, worst, M)
+		}
+		// ...so whenever the instance closes timing (M >= 0), no setup or
+		// hold slack is negative.
+		if M >= 0 && worst < -slackEps {
+			t.Fatalf("trial %d: M=%v but negative slack %v", trials, M, worst)
+		}
+		// And M is maximal: no uniform slack M + 2*tol is feasible.
+		if _, ok := Feasible(n, Constraints(pairs, propT, M+10*propTol, propSetup, propHold)); ok {
+			t.Fatalf("trial %d: M=%v is not maximal", trials, M)
+		}
+	}
+}
+
+// randomAnchors builds anchors within the schedule's own delay range so the
+// cost-driven instances are nontrivial but usually feasible.
+func randomAnchors(rng *rand.Rand, sched []float64) []Anchor {
+	anchors := make([]Anchor, len(sched))
+	for i := range anchors {
+		anchors[i] = Anchor{
+			A:   sched[i] + (rng.Float64()-0.5)*100,
+			TCI: rng.Float64() * 20,
+		}
+	}
+	return anchors
+}
+
+func TestPropertyMinDeltaKeepsWorkingSlack(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	trials := 0
+	for trials < 30 {
+		n := 3 + rng.Intn(6)
+		pairs := buildRandomPairs(rng, n)
+		if len(pairs) == 0 {
+			continue
+		}
+		M, sched, err := MaxSlack(n, pairs, propT, propSetup, propHold, propTol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trials++
+		// Work at half the max slack, the flow's own convention.
+		work := M / 2
+		cons := Constraints(pairs, propT, work, propSetup, propHold)
+		delta, dt, err := MinDelta(n, cons, randomAnchors(rng, sched), propTol)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trials, err)
+		}
+		// The cost-driven schedule must still satisfy every working
+		// constraint: no slack drops below the scheduled bound.
+		if v := Verify(dt, cons); v > slackEps {
+			t.Fatalf("trial %d: MinDelta schedule violates working constraints by %v", trials, v)
+		}
+		setup, hold := pairSlacks(dt, pairs)
+		if worst := math.Min(setup, hold); worst < work-slackEps {
+			t.Fatalf("trial %d: worst slack %v below working bound %v", trials, worst, work)
+		}
+		if delta < 0 {
+			t.Fatalf("trial %d: negative Delta %v", trials, delta)
+		}
+	}
+}
+
+func TestPropertyWeightedSumKeepsWorkingSlack(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	trials := 0
+	for trials < 30 {
+		n := 3 + rng.Intn(6)
+		pairs := buildRandomPairs(rng, n)
+		if len(pairs) == 0 {
+			continue
+		}
+		M, sched, err := MaxSlack(n, pairs, propT, propSetup, propHold, propTol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trials++
+		work := M / 2
+		cons := Constraints(pairs, propT, work, propSetup, propHold)
+		targets := make([]float64, n)
+		weights := make([]float64, n)
+		for i := range targets {
+			targets[i] = sched[i] + (rng.Float64()-0.5)*100
+			weights[i] = 1 + rng.Float64()*10
+		}
+		obj, wt, err := WeightedSum(n, cons, targets, weights)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trials, err)
+		}
+		if v := Verify(wt, cons); v > slackEps {
+			t.Fatalf("trial %d: WeightedSum schedule violates working constraints by %v", trials, v)
+		}
+		setup, hold := pairSlacks(wt, pairs)
+		if worst := math.Min(setup, hold); worst < work-slackEps {
+			t.Fatalf("trial %d: worst slack %v below working bound %v", trials, worst, work)
+		}
+		// The reported objective is the true weighted mismatch of the
+		// returned schedule, and it is never negative.
+		check := 0.0
+		for i := range wt {
+			check += weights[i] * math.Abs(wt[i]-targets[i])
+		}
+		if math.Abs(check-obj) > 1e-6 || obj < 0 {
+			t.Fatalf("trial %d: objective %v, recomputed %v", trials, obj, check)
+		}
+	}
+}

@@ -9,6 +9,13 @@
 #   scripts/ci.sh bench   run the benchmark suite with -benchmem and record
 #                         it as BENCH_baseline.json so future PRs have a
 #                         perf trajectory to compare against
+#   scripts/ci.sh golden  run only the golden-table regression harness
+#                         (UPDATE=1 re-records the goldens after a reviewed
+#                         table change)
+#   scripts/ci.sh cover   go test -cover over every package; fails if total
+#                         statement coverage drops more than 2 points below
+#                         the recorded COVERAGE_baseline.txt (UPDATE=1
+#                         re-records the baseline)
 #
 # BENCHTIME overrides the bench sampling (default 1x: one timed iteration
 # per benchmark keeps the whole suite under a couple of minutes; use e.g.
@@ -59,8 +66,38 @@ bench)
     ' "$raw" > "$out"
     echo "wrote $out (benchtime $benchtime)"
     ;;
+golden)
+    if [ "${UPDATE:-0}" = "1" ]; then
+        go test ./internal/exp -run '^TestGolden' -count=1 -update
+    else
+        go test ./internal/exp -run '^TestGolden' -count=1
+    fi
+    ;;
+cover)
+    profile="$(mktemp)"
+    trap 'rm -f "$profile"' EXIT
+    go test -coverprofile "$profile" ./...
+    total="$(go tool cover -func "$profile" | awk '/^total:/ { sub(/%/, "", $3); print $3 }')"
+    echo "total statement coverage: ${total}%"
+    if [ "${UPDATE:-0}" = "1" ]; then
+        echo "$total" > COVERAGE_baseline.txt
+        echo "wrote COVERAGE_baseline.txt"
+    elif [ -f COVERAGE_baseline.txt ]; then
+        baseline="$(cat COVERAGE_baseline.txt)"
+        awk -v t="$total" -v b="$baseline" 'BEGIN {
+            if (t + 2.0 < b) {
+                printf "coverage regression: %.1f%% is more than 2 points below the %.1f%% baseline\n", t, b
+                exit 1
+            }
+            printf "baseline %.1f%%: ok\n", b
+        }'
+    else
+        echo "no COVERAGE_baseline.txt; run UPDATE=1 scripts/ci.sh cover to record one" >&2
+        exit 1
+    fi
+    ;;
 *)
-    echo "usage: scripts/ci.sh {test|race|fuzz|bench}" >&2
+    echo "usage: scripts/ci.sh {test|race|fuzz|bench|golden|cover}" >&2
     exit 2
     ;;
 esac
