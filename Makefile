@@ -1,7 +1,7 @@
-# Tier-1 gate, race gate, fuzz smoke, benchmark baseline, golden tables,
-# and coverage gate. See scripts/ci.sh.
+# Tier-1 gate, race gate, fuzz smoke, benchmark baseline, placer perf
+# comparison, golden tables, and coverage gate. See scripts/ci.sh.
 
-.PHONY: test race fuzz bench golden cover
+.PHONY: test race fuzz bench benchcmp golden cover
 
 test:
 	sh scripts/ci.sh test
@@ -14,6 +14,9 @@ fuzz:
 
 bench:
 	sh scripts/ci.sh bench
+
+benchcmp:
+	sh scripts/ci.sh benchcmp
 
 golden:
 	sh scripts/ci.sh golden

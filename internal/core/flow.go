@@ -223,6 +223,16 @@ func Run(c *netlist.Circuit, cfg Config) (*Result, error) {
 		obs.I("flipflops", n))
 	defer root.End()
 
+	// The quadratic placement system is assembled once here and reused by
+	// every placer call of the run — the initial global placement and all
+	// stage-6 incremental re-placements — because the net connectivity it
+	// encodes never changes across flow iterations; only the anchor overlay
+	// (pseudo-nets, stability anchors) differs per solve.
+	psys, err := placer.NewSystem(c, reg)
+	if err != nil {
+		return nil, stageErr(1, 0, fmt.Errorf("placement system: %w", err))
+	}
+
 	// Stage 1: initial placement. Conjugate-gradients stagnation is the one
 	// recoverable failure here: the positions written back are a usable
 	// iterate, and one retry at a 100x looser tolerance almost always
@@ -230,10 +240,10 @@ func Run(c *netlist.Circuit, cfg Config) (*Result, error) {
 	tPlace := time.Now()
 	s1 := root.Child("stage1.place")
 	if !cfg.SkipInitialPlace {
-		err := placer.Global(c, placer.Options{Parallelism: cfg.Parallelism, Obs: reg})
+		err := psys.Global(placer.Options{Parallelism: cfg.Parallelism, Obs: reg})
 		if err != nil && errors.Is(err, placer.ErrNonConverged) && !cfg.Strict {
 			res.event(1, 0, NonConverged, "retrying global placement at 100x looser CG tolerance", err)
-			err = placer.Global(c, placer.Options{Parallelism: cfg.Parallelism, CGTol: 1e-4, Obs: reg})
+			err = psys.Global(placer.Options{Parallelism: cfg.Parallelism, CGTol: 1e-4, Obs: reg})
 			if err != nil && errors.Is(err, placer.ErrNonConverged) {
 				// Both solves stagnated; the best-effort iterate is on the
 				// circuit and legalization makes it usable.
@@ -355,10 +365,10 @@ loop:
 				Weight: cfg.PseudoWeight * float64(iter),
 			})
 		}
-		err := placer.Incremental(c, placer.Options{PseudoNets: pn, Parallelism: cfg.Parallelism, Obs: reg})
+		err := psys.Incremental(placer.Options{PseudoNets: pn, Parallelism: cfg.Parallelism, Obs: reg})
 		if err != nil && errors.Is(err, placer.ErrNonConverged) && !cfg.Strict {
 			res.event(6, iter, NonConverged, "retrying incremental placement at 100x looser CG tolerance", err)
-			err = placer.Incremental(c, placer.Options{PseudoNets: pn, Parallelism: cfg.Parallelism, CGTol: 1e-4, Obs: reg})
+			err = psys.Incremental(placer.Options{PseudoNets: pn, Parallelism: cfg.Parallelism, CGTol: 1e-4, Obs: reg})
 			if err != nil && errors.Is(err, placer.ErrNonConverged) {
 				res.event(6, iter, NonConverged, "keeping best-effort placement from stagnated solve", err)
 				err = nil

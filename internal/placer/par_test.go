@@ -77,10 +77,14 @@ func BenchmarkCGSolve(b *testing.B) {
 		return func(b *testing.B) {
 			opt := Options{Parallelism: workers}
 			opt.normalize(c.NumMovable())
+			sys, err := NewSystem(c, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				sys, _ := buildSystem(c, &opt)
+				sys.prepare(&opt, nil, 0)
 				ws := wsPool.Get().(*solveWS)
 				sys.solve(opt.CGTol, opt.CGMaxIter, workers, ws)
 				wsPool.Put(ws)
@@ -98,7 +102,11 @@ func BenchmarkCGScratchReuse(b *testing.B) {
 	c := detCircuit(b, 2000, 200, 7)
 	opt := Options{}
 	opt.normalize(c.NumMovable())
-	sys, _ := buildSystem(c, &opt)
+	sys, err := NewSystem(c, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys.prepare(&opt, nil, 0)
 	ws := wsPool.Get().(*solveWS)
 	defer wsPool.Put(ws)
 	b.ReportAllocs()

@@ -9,6 +9,16 @@
 // stable under small netlist perturbations — all of which this package
 // provides.
 //
+// The quadratic system is split FastPlace-style into an immutable
+// connectivity part (a flat CSR Laplacian plus the base diagonal and
+// right-hand sides contributed by fixed cells, assembled once per circuit by
+// NewSystem) and a mutable anchor overlay (pseudo-nets, stability anchors,
+// spread targets, disconnected-node regularization) that is reset and
+// reapplied per re-solve. Callers that re-solve the same netlist repeatedly
+// (the spread loop, the flow's stage-6 iterations) hold one System and pay
+// only the overlay cost per solve; see DESIGN.md section 10 for the
+// bit-identity argument.
+//
 // Error discipline: invalid circuits (empty die) return errors, and a
 // conjugate-gradient solve that exhausts its iteration budget with the
 // residual still above tolerance returns an error wrapping ErrNonConverged —
@@ -48,7 +58,7 @@ type PseudoNet struct {
 // Options tunes the placer.
 type Options struct {
 	// SpreadIters is the number of density-equalization + re-solve rounds
-	// of global placement (default 6).
+	// of global placement (default 24, locked by TestOptionsDefaults).
 	SpreadIters int
 	// Bins is the spreading grid resolution per axis (default derived from
 	// the movable cell count).
@@ -70,9 +80,15 @@ type Options struct {
 	// boundaries and reduction order are fixed (see internal/par).
 	Parallelism int
 	// Obs receives solver telemetry (CG solves/iterations counters, exit
-	// residual gauge). Nil falls back to the armed global registry; fully
-	// disarmed costs one atomic load per solve (see internal/obs).
+	// residual gauge, system build/reuse counters). Nil falls back to the
+	// armed global registry; fully disarmed costs one atomic load per solve
+	// (see internal/obs).
 	Obs *obs.Registry
+
+	// rebuildEachSolve (test-only) assembles a fresh System before every
+	// re-solve, reproducing the pre-reuse rebuild-every-time path so tests
+	// can assert the two paths are bit-identical.
+	rebuildEachSolve bool
 }
 
 func (o *Options) normalize(movable int) {
@@ -93,39 +109,60 @@ func (o *Options) normalize(movable int) {
 	}
 }
 
-// system is the sparse SPD system of one quadratic placement solve. The x
-// and y dimensions share the structure but have separate right-hand sides.
-type system struct {
-	n     int
-	diag  []float64
-	nbr   [][]int32
-	nbrW  [][]float64
-	bx    []float64
-	by    []float64
-	posX  []float64
-	posY  []float64
-	cells []int // unknown index -> cell ID (star nodes: -1)
-	obs   *obs.Registry // resolved once at build; nil when disarmed
+// System is the reusable sparse SPD system of a circuit's quadratic
+// placement. The connectivity part — the CSR Laplacian off-diagonal
+// (rowStart/cols/w) and the base diagonal and right-hand sides contributed
+// by net edges and fixed-cell anchors — is assembled once from the netlist
+// and never mutated; every re-solve resets the working diag/bx/by from it
+// and reapplies the per-solve anchor overlay. The x and y dimensions share
+// the structure but have separate right-hand sides.
+//
+// A System stays valid as long as the circuit's connectivity (cells, nets,
+// Fixed flags, fixed-cell positions, die) is unchanged; cell position
+// updates are picked up at the next solve. It is not safe for concurrent
+// use.
+type System struct {
+	c    *netlist.Circuit
+	n    int // unknowns: movable cells + star nodes
+	nMov int
+
+	// Immutable connectivity, built once by NewSystem.
+	rowStart []int32   // CSR row offsets, len n+1
+	cols     []int32   // neighbor indices, row-major
+	w        []float64 // neighbor weights, parallel to cols
+	baseDiag []float64
+	baseBx   []float64
+	baseBy   []float64
+	starRow  []int32 // star index -> offset into starPin, len nStar+1
+	starPin  []int32 // pin cell IDs per star net, in net order
+	cells    []int   // unknown index -> cell ID (star nodes: -1)
+	idx      map[int]int
+
+	// Mutable per-solve state, reset by prepare.
+	diag []float64
+	bx   []float64
+	by   []float64
+	posX []float64
+	posY []float64
+
+	obs *obs.Registry // resolved per call; nil when disarmed
 }
 
-func (s *system) addEdge(i, j int, w float64) {
-	s.diag[i] += w
-	s.diag[j] += w
-	s.nbr[i] = append(s.nbr[i], int32(j))
-	s.nbrW[i] = append(s.nbrW[i], w)
-	s.nbr[j] = append(s.nbr[j], int32(i))
-	s.nbrW[j] = append(s.nbrW[j], w)
-}
-
-func (s *system) addAnchor(i int, p geom.Point, w float64) {
+// anchor accumulates one overlay anchor term into the working system.
+func (s *System) anchor(i int, p geom.Point, w float64) {
 	s.diag[i] += w
 	s.bx[i] += w * p.X
 	s.by[i] += w * p.Y
 }
 
-// buildSystem assembles the star-model quadratic system for the circuit.
-// Movable cells come first, then one star node per net with 3+ pins.
-func buildSystem(c *netlist.Circuit, opt *Options) (*system, map[int]int) {
+// NewSystem assembles the immutable connectivity part of the circuit's
+// quadratic system: movable cells come first, then one star node per net
+// with 3+ pins. The registry (nil falls back to the armed global one)
+// receives the placer.system.builds counter.
+func NewSystem(c *netlist.Circuit, reg *obs.Registry) (*System, error) {
+	if err := validate(c); err != nil {
+		return nil, err
+	}
 	idx := map[int]int{} // cell ID -> unknown index
 	var cells []int
 	for _, cell := range c.Cells {
@@ -135,36 +172,94 @@ func buildSystem(c *netlist.Circuit, opt *Options) (*system, map[int]int) {
 		}
 	}
 	nMov := len(cells)
-	// Count star nodes.
-	nStar := 0
+	// Count star nodes and their pins.
+	nStar, nStarPin := 0, 0
 	for _, n := range c.Nets {
 		if len(n.Pins) >= 3 {
 			nStar++
+			nStarPin += len(n.Pins)
 		}
 	}
 	n := nMov + nStar
-	s := &system{
-		n:     n,
-		diag:  make([]float64, n),
-		nbr:   make([][]int32, n),
-		nbrW:  make([][]float64, n),
-		bx:    make([]float64, n),
-		by:    make([]float64, n),
-		posX:  make([]float64, n),
-		posY:  make([]float64, n),
-		cells: make([]int, n),
-		obs:   obs.Resolve(opt.Obs),
+	s := &System{
+		c:        c,
+		n:        n,
+		nMov:     nMov,
+		baseDiag: make([]float64, n),
+		baseBx:   make([]float64, n),
+		baseBy:   make([]float64, n),
+		starRow:  make([]int32, nStar+1),
+		starPin:  make([]int32, 0, nStarPin),
+		cells:    make([]int, n),
+		idx:      idx,
+		diag:     make([]float64, n),
+		bx:       make([]float64, n),
+		by:       make([]float64, n),
+		posX:     make([]float64, n),
+		posY:     make([]float64, n),
+		obs:      obs.Resolve(reg),
 	}
 	for i := range s.cells {
 		s.cells[i] = -1
 	}
-	for i, id := range cells {
-		s.cells[i] = id
-		s.posX[i] = c.Cells[id].Pos.X
-		s.posY[i] = c.Cells[id].Pos.Y
-	}
+	copy(s.cells, cells)
 
+	// Counting pass: per-row adjacency degrees (each edge contributes one
+	// entry to both endpoint rows).
+	deg := make([]int32, n+1)
 	star := nMov
+	for _, net := range c.Nets {
+		k := len(net.Pins)
+		if k < 2 {
+			continue
+		}
+		if k == 2 {
+			ia, aOK := idx[net.Pins[0]]
+			ib, bOK := idx[net.Pins[1]]
+			if aOK && bOK {
+				deg[ia]++
+				deg[ib]++
+			}
+			continue
+		}
+		for _, pid := range net.Pins {
+			if ip, ok := idx[pid]; ok {
+				deg[ip]++
+				deg[star]++
+			}
+		}
+		star++
+	}
+	s.rowStart = make([]int32, n+1)
+	for i := 0; i < n; i++ {
+		s.rowStart[i+1] = s.rowStart[i] + deg[i]
+	}
+	total := int(s.rowStart[n])
+	s.cols = make([]int32, total)
+	s.w = make([]float64, total)
+
+	// Fill pass: identical net traversal, so per-row neighbor order and the
+	// diag/bx/by accumulation order match the historical slice-of-slices
+	// build exactly (the bit-identity contract of DESIGN.md section 10).
+	next := make([]int32, n)
+	copy(next, s.rowStart[:n])
+	addEdge := func(i, j int, w float64) {
+		s.baseDiag[i] += w
+		s.baseDiag[j] += w
+		s.cols[next[i]] = int32(j)
+		s.w[next[i]] = w
+		next[i]++
+		s.cols[next[j]] = int32(i)
+		s.w[next[j]] = w
+		next[j]++
+	}
+	addAnchor := func(i int, p geom.Point, w float64) {
+		s.baseDiag[i] += w
+		s.baseBx[i] += w * p.X
+		s.baseBy[i] += w * p.Y
+	}
+	star = nMov
+	si := 0
 	for _, net := range c.Nets {
 		k := len(net.Pins)
 		if k < 2 {
@@ -176,54 +271,107 @@ func buildSystem(c *netlist.Circuit, opt *Options) (*system, map[int]int) {
 			ib, bOK := idx[b]
 			switch {
 			case aOK && bOK:
-				s.addEdge(ia, ib, 1)
+				addEdge(ia, ib, 1)
 			case aOK:
-				s.addAnchor(ia, c.Cells[b].Pos, 1)
+				addAnchor(ia, c.Cells[b].Pos, 1)
 			case bOK:
-				s.addAnchor(ib, c.Cells[a].Pos, 1)
+				addAnchor(ib, c.Cells[a].Pos, 1)
 			}
 			continue
 		}
-		// Star: every pin connects to the star node with weight k/(k-1),
-		// seeded at the pins' centroid.
+		// Star: every pin connects to the star node with weight k/(k-1).
+		// The pin list is recorded so prepare can re-seed the star at the
+		// pins' current centroid before every solve.
 		w := float64(k) / float64(k-1) / 2
-		var cx, cy float64
 		for _, pid := range net.Pins {
-			cx += c.Cells[pid].Pos.X
-			cy += c.Cells[pid].Pos.Y
-		}
-		s.posX[star] = cx / float64(k)
-		s.posY[star] = cy / float64(k)
-		for _, pid := range net.Pins {
+			s.starPin = append(s.starPin, int32(pid))
 			if ip, ok := idx[pid]; ok {
-				s.addEdge(ip, star, w)
+				addEdge(ip, star, w)
 			} else {
-				s.addAnchor(star, c.Cells[pid].Pos, w)
+				addAnchor(star, c.Cells[pid].Pos, w)
 			}
 		}
+		s.starRow[si+1] = int32(len(s.starPin))
+		si++
 		star++
+	}
+	s.obs.Add("placer.system.builds", 1)
+	return s, nil
+}
+
+// prepare resets the working system to the immutable base and reapplies the
+// per-solve anchor overlay in the same accumulation order the historical
+// per-solve build used: positions and star seeds from the circuit, then
+// opt.PseudoNets, then extra pseudo-nets at extraScale times their weight,
+// then stability anchors, then the disconnected-node regularization.
+func (s *System) prepare(opt *Options, extra []PseudoNet, extraScale float64) {
+	s.obs.Add("placer.system.reuses", 1)
+	copy(s.diag, s.baseDiag)
+	copy(s.bx, s.baseBx)
+	copy(s.by, s.baseBy)
+	c := s.c
+	for i := 0; i < s.nMov; i++ {
+		pos := c.Cells[s.cells[i]].Pos
+		s.posX[i] = pos.X
+		s.posY[i] = pos.Y
+	}
+	for st := 0; st < len(s.starRow)-1; st++ {
+		lo, hi := s.starRow[st], s.starRow[st+1]
+		var cx, cy float64
+		for _, pid := range s.starPin[lo:hi] {
+			pos := c.Cells[pid].Pos
+			cx += pos.X
+			cy += pos.Y
+		}
+		k := float64(hi - lo)
+		s.posX[s.nMov+st] = cx / k
+		s.posY[s.nMov+st] = cy / k
 	}
 
 	// Pseudo-nets and stability anchors.
 	for _, pn := range opt.PseudoNets {
-		if i, ok := idx[pn.Cell]; ok && pn.Weight > 0 {
-			s.addAnchor(i, pn.Target, pn.Weight)
+		if i, ok := s.idx[pn.Cell]; ok && pn.Weight > 0 {
+			s.anchor(i, pn.Target, pn.Weight)
+		}
+	}
+	for _, pn := range extra {
+		if i, ok := s.idx[pn.Cell]; ok {
+			if w := pn.Weight * extraScale; w > 0 {
+				s.anchor(i, pn.Target, w)
+			}
 		}
 	}
 	if opt.AnchorWeight > 0 {
-		for i, id := range cells {
-			s.addAnchor(i, c.Cells[id].Pos, opt.AnchorWeight)
+		for i := 0; i < s.nMov; i++ {
+			s.anchor(i, c.Cells[s.cells[i]].Pos, opt.AnchorWeight)
 		}
 	}
 	// Regularize fully disconnected unknowns toward the die center so the
 	// system stays positive definite.
 	center := c.Die.Center()
-	for i := 0; i < n; i++ {
+	for i := 0; i < s.n; i++ {
 		if s.diag[i] == 0 {
-			s.addAnchor(i, center, 1e-3)
+			s.anchor(i, center, 1e-3)
 		}
 	}
-	return s, idx
+}
+
+// solveRound runs one prepare+solve+writeBack round and reports convergence.
+// Under opt.rebuildEachSolve (test-only) it assembles a fresh System first,
+// reproducing the historical rebuild-every-time path.
+func (s *System) solveRound(opt *Options, extra []PseudoNet, extraScale float64, workers int, ws *solveWS) (bool, error) {
+	sys := s
+	if opt.rebuildEachSolve {
+		fresh, err := NewSystem(s.c, opt.Obs)
+		if err != nil {
+			return false, err
+		}
+		sys = fresh
+	}
+	sys.prepare(opt, extra, extraScale)
+	converged := sys.solve(opt.CGTol, opt.CGMaxIter, workers, ws)
+	sys.writeBack(s.c)
+	return converged, nil
 }
 
 // Kernel grains: chunk sizes of the parallel CG primitives. They are fixed
@@ -270,7 +418,7 @@ var wsPool = sync.Pool{New: func() any { return new(solveWS) }}
 // one worker they solve concurrently, splitting the worker budget. It
 // reports whether both axes converged (posX/posY hold the best-effort
 // iterates either way).
-func (s *system) solve(tol float64, maxIter, workers int, ws *solveWS) bool {
+func (s *System) solve(tol float64, maxIter, workers int, ws *solveWS) bool {
 	if faultinject.Hook(faultinject.SitePlacerCG) != nil {
 		return false // injected stagnation: exercise the retry path
 	}
@@ -287,16 +435,18 @@ func (s *system) solve(tol float64, maxIter, workers int, ws *solveWS) bool {
 	return okX && okY
 }
 
-// mulvec computes out = A*v for the Laplacian-plus-diagonal system. Rows are
-// independent, so chunked execution is deterministic for any worker count.
-func (s *system) mulvec(v, out []float64, workers int) {
+// mulvec computes out = A*v for the Laplacian-plus-diagonal system. The CSR
+// row walk is over contiguous cols/w memory, in the same per-row neighbor
+// order the build recorded. Rows are independent, so chunked execution is
+// deterministic for any worker count.
+func (s *System) mulvec(v, out []float64, workers int) {
 	par.Chunks(workers, s.n, mulGrain, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			acc := s.diag[i] * v[i]
-			nb := s.nbr[i]
-			wv := s.nbrW[i]
-			for k, j := range nb {
-				acc -= wv[k] * v[j]
+			cols := s.cols[s.rowStart[i]:s.rowStart[i+1]]
+			wts := s.w[s.rowStart[i]:s.rowStart[i+1]]
+			for k, j := range cols {
+				acc -= wts[k] * v[j]
 			}
 			out[i] = acc
 		}
@@ -320,7 +470,7 @@ func dot(a, b []float64, workers int) float64 {
 // cg reports whether it reached the residual tolerance; on a false return
 // (iteration budget exhausted or numerical breakdown with the residual still
 // high) x holds the best iterate reached.
-func (s *system) cg(x, b []float64, tol float64, maxIter, workers int, ws *cgScratch) bool {
+func (s *System) cg(x, b []float64, tol float64, maxIter, workers int, ws *cgScratch) bool {
 	n := s.n
 	if n == 0 {
 		return true
@@ -413,7 +563,7 @@ func (s *system) cg(x, b []float64, tol float64, maxIter, workers int, ws *cgScr
 
 // writeBack clamps solved positions into the die and stores them on the
 // circuit's movable cells.
-func (s *system) writeBack(c *netlist.Circuit) {
+func (s *System) writeBack(c *netlist.Circuit) {
 	for i, id := range s.cells {
 		if id < 0 {
 			continue

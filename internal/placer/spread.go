@@ -14,11 +14,24 @@ import (
 // Global runs global placement: an initial quadratic solve followed by
 // SpreadIters rounds of FastPlace-style density equalization re-anchored
 // into the quadratic system, leaving cells spread over the die with low
-// quadratic wirelength. Positions are written onto the circuit.
+// quadratic wirelength. Positions are written onto the circuit. The
+// quadratic system is assembled once and reused across every round; callers
+// that already hold a System for the circuit should use System.Global.
 func Global(c *netlist.Circuit, opt Options) error {
+	sys, err := NewSystem(c, opt.Obs)
+	if err != nil {
+		return err
+	}
+	return sys.Global(opt)
+}
+
+// Global runs global placement on the system's circuit, reusing the
+// already-built connectivity for the initial solve and every spread round.
+func (s *System) Global(opt Options) error {
 	if err := faultinject.Hook(faultinject.SitePlacerGlobal); err != nil {
 		return err
 	}
+	c := s.c
 	if err := validate(c); err != nil {
 		return err
 	}
@@ -26,13 +39,15 @@ func Global(c *netlist.Circuit, opt Options) error {
 	if c.NumMovable() == 0 {
 		return nil
 	}
-	obs.Resolve(opt.Obs).Add("placer.global.calls", 1)
+	s.obs = obs.Resolve(opt.Obs)
+	s.obs.Add("placer.global.calls", 1)
 	workers := par.Workers(opt.Parallelism)
 	ws := wsPool.Get().(*solveWS)
 	defer wsPool.Put(ws)
-	sys, _ := buildSystem(c, &opt)
-	converged := sys.solve(opt.CGTol, opt.CGMaxIter, workers, ws)
-	sys.writeBack(c)
+	converged, err := s.solveRound(&opt, nil, 0, workers, ws)
+	if err != nil {
+		return err
+	}
 
 	for iter := 1; iter <= opt.SpreadIters; iter++ {
 		targets := equalize(c, opt.Bins)
@@ -40,14 +55,10 @@ func Global(c *netlist.Circuit, opt Options) error {
 		// strength ramps so early rounds preserve connectivity structure
 		// and late rounds enforce density.
 		w := opt.SpreadAlpha * float64(iter)
-		o2 := opt
-		o2.PseudoNets = append(append([]PseudoNet(nil), opt.PseudoNets...), targets...)
-		for i := range o2.PseudoNets[len(opt.PseudoNets):] {
-			o2.PseudoNets[len(opt.PseudoNets)+i].Weight *= w
+		converged, err = s.solveRound(&opt, targets, w, workers, ws)
+		if err != nil {
+			return err
 		}
-		sys, _ = buildSystem(c, &o2)
-		converged = sys.solve(opt.CGTol, opt.CGMaxIter, workers, ws)
-		sys.writeBack(c)
 	}
 	if !converged {
 		// Positions are already written back (best effort); the caller
@@ -61,11 +72,24 @@ func Global(c *netlist.Circuit, opt Options) error {
 // holding cells near where they are (stability anchors) while the
 // pseudo-nets pull flip-flops toward their rings. This is the stage-6
 // incremental placement of the flow; it is "stable" in the paper's sense:
-// with no pseudo-nets it reproduces the input placement.
+// with no pseudo-nets it reproduces the input placement. Callers that
+// re-place the same circuit repeatedly (the flow loop) should hold one
+// System and use System.Incremental so the connectivity build is paid once.
 func Incremental(c *netlist.Circuit, opt Options) error {
+	sys, err := NewSystem(c, opt.Obs)
+	if err != nil {
+		return err
+	}
+	return sys.Incremental(opt)
+}
+
+// Incremental runs incremental placement on the system's circuit, reusing
+// the already-built connectivity for both of its solves.
+func (s *System) Incremental(opt Options) error {
 	if err := faultinject.Hook(faultinject.SitePlacerIncremental); err != nil {
 		return err
 	}
+	c := s.c
 	if err := validate(c); err != nil {
 		return err
 	}
@@ -76,13 +100,15 @@ func Incremental(c *netlist.Circuit, opt Options) error {
 	if opt.AnchorWeight <= 0 {
 		opt.AnchorWeight = 6.0
 	}
-	obs.Resolve(opt.Obs).Add("placer.incremental.calls", 1)
+	s.obs = obs.Resolve(opt.Obs)
+	s.obs.Add("placer.incremental.calls", 1)
 	workers := par.Workers(opt.Parallelism)
 	ws := wsPool.Get().(*solveWS)
 	defer wsPool.Put(ws)
-	sys, _ := buildSystem(c, &opt)
-	converged := sys.solve(opt.CGTol, opt.CGMaxIter, workers, ws)
-	sys.writeBack(c)
+	converged, err := s.solveRound(&opt, nil, 0, workers, ws)
+	if err != nil {
+		return err
+	}
 	if len(opt.PseudoNets) == 0 {
 		if !converged {
 			return fmt.Errorf("placer: incremental placement solve: %w", ErrNonConverged)
@@ -98,17 +124,16 @@ func Incremental(c *netlist.Circuit, opt Options) error {
 		pulled[pn.Cell] = true
 	}
 	targets := equalize(c, opt.Bins)
-	o2 := opt
-	o2.PseudoNets = append([]PseudoNet(nil), opt.PseudoNets...)
+	filtered := targets[:0]
 	for _, tg := range targets {
 		if pulled[tg.Cell] {
-			tg.Weight *= 0.1
-			o2.PseudoNets = append(o2.PseudoNets, tg)
+			filtered = append(filtered, tg)
 		}
 	}
-	sys, _ = buildSystem(c, &o2)
-	converged = sys.solve(opt.CGTol, opt.CGMaxIter, workers, ws)
-	sys.writeBack(c)
+	converged, err = s.solveRound(&opt, filtered, 0.1, workers, ws)
+	if err != nil {
+		return err
+	}
 	if !converged {
 		return fmt.Errorf("placer: incremental placement final solve: %w", ErrNonConverged)
 	}

@@ -15,10 +15,10 @@ import (
 func FuzzSolveTap(f *testing.F) {
 	f.Add(500.0, 500.0, 300.0, 100.0, 250.0, 250.0, true)
 	f.Add(0.0, 0.0, 1.0, 0.0, 0.0, 0.0, false)
-	f.Add(500.0, 500.0, 300.0, -750.0, 480.0, 510.0, true)   // negative target
+	f.Add(500.0, 500.0, 300.0, -750.0, 480.0, 510.0, true)     // negative target
 	f.Add(500.0, 500.0, 300.0, 12345.0, 2000.0, -800.0, false) // far-away FF
-	f.Add(1e-9, 1e-9, 1e-12, 1e6, 1.0, 1.0, true)            // tiny ring, huge target
-	f.Add(math.NaN(), 0.0, 100.0, 50.0, 0.0, 0.0, true)      // non-finite inputs
+	f.Add(1e-9, 1e-9, 1e-12, 1e6, 1.0, 1.0, true)              // tiny ring, huge target
+	f.Add(math.NaN(), 0.0, 100.0, 50.0, 0.0, 0.0, true)        // non-finite inputs
 	f.Add(0.0, 0.0, math.Inf(1), 50.0, 0.0, 0.0, false)
 	f.Add(0.0, 0.0, -5.0, 50.0, 0.0, 0.0, true) // non-positive side
 	f.Fuzz(func(t *testing.T, cx, cy, side, tHat, fx, fy float64, ccw bool) {

@@ -19,10 +19,72 @@ const (
 	propSetup = 30.0
 	propHold  = 15.0
 	propTol   = 1e-4
-	// slackEps absorbs the binary-search tolerance and Bellman-Ford's 1e-9
-	// relaxation epsilon.
+	// slackEps absorbs the binary-search tolerance and Bellman-Ford's Eps
+	// relaxation slop.
 	slackEps = 1e-3
 )
+
+// TestPropertyFeasibleCertificatesVerifyWithinEps is the shared-tolerance
+// contract between Feasible and Verify: every certificate Feasible returns
+// may violate a constraint only by the relaxation slop Eps, so exact
+// verification against the same constant never reports a certified system
+// as infeasible. Random systems of both shapes (raw difference constraints
+// and Fishburn expansions, self-loops included) are exercised.
+func TestPropertyFeasibleCertificatesVerifyWithinEps(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	feasible := 0
+	for trial := 0; feasible < 40 && trial < 400; trial++ {
+		n := 2 + rng.Intn(7)
+		var cons []DiffConstraint
+		if trial%2 == 0 {
+			// Raw random difference constraints, mostly-negative bounds so a
+			// good fraction of the systems are infeasible too.
+			m := 1 + rng.Intn(3*n)
+			for e := 0; e < m; e++ {
+				u, v := rng.Intn(n), rng.Intn(n)
+				cons = append(cons, DiffConstraint{U: u, V: v, Bound: (rng.Float64() - 0.4) * 100})
+			}
+		} else {
+			pairs := buildRandomPairs(rng, n)
+			// Self pairs expand to self-loop constraints.
+			pairs = append(pairs, SeqPair{U: rng.Intn(n), V: rng.Intn(n), DMax: 400, DMin: 100})
+			m := (rng.Float64() - 0.5) * propT
+			cons = Constraints(pairs, propT, m, propSetup, propHold)
+		}
+		tt, ok := Feasible(n, cons)
+		if !ok {
+			continue
+		}
+		feasible++
+		if v := Verify(tt, cons); v > Eps {
+			t.Fatalf("trial %d: Feasible certificate violates constraints by %v > Eps", trial, v)
+		}
+	}
+	if feasible < 40 {
+		t.Fatalf("only %d feasible systems generated; property undersampled", feasible)
+	}
+}
+
+// TestVerifyEmptyAndSelfLoop locks the degenerate Verify cases: an empty
+// constraint set (or one of satisfied self-loops only) reports no violation
+// — 0, not the -Inf that used to leak into reports — while a violated
+// self-loop still surfaces positively.
+func TestVerifyEmptyAndSelfLoop(t *testing.T) {
+	if v := Verify(nil, nil); v != 0 {
+		t.Errorf("Verify of empty set = %v, want 0", v)
+	}
+	if v := Verify([]float64{1}, []DiffConstraint{{U: 0, V: 0, Bound: 5}}); v != 0 {
+		t.Errorf("Verify of single satisfied self-loop = %v, want 0", v)
+	}
+	if v := Verify([]float64{1}, []DiffConstraint{{U: 0, V: 0, Bound: -2}}); v != 2 {
+		t.Errorf("Verify of violated self-loop = %v, want 2", v)
+	}
+	// A satisfied self-loop must not mask the margin of a real constraint.
+	cons := []DiffConstraint{{U: 0, V: 0, Bound: 1}, {U: 0, V: 1, Bound: 5}}
+	if v := Verify([]float64{10, 6}, cons); v != -1 {
+		t.Errorf("Verify with satisfied self-loop + pair = %v, want -1", v)
+	}
+}
 
 // pairSlacks returns the worst setup and hold slack of a schedule at slack
 // margin 0 (i.e. the raw per-pair slacks of formulation (6)-(7)).

@@ -68,10 +68,19 @@ func Constraints(pairs []SeqPair, T, M, setup, hold float64) []DiffConstraint {
 	return cons
 }
 
+// Eps is the package's shared feasibility tolerance. Feasible stops
+// relaxing once no constraint improves by more than Eps, so the potentials
+// it certifies may violate a constraint by up to Eps — which is exactly the
+// slop Verify's callers must allow: a schedule is feasible-within-tolerance
+// when Verify(t, cons) <= Eps. Both functions reference this one constant
+// so the relaxation slop and the verification threshold cannot drift apart.
+const Eps = 1e-9
+
 // Feasible solves the difference-constraint system over n variables with
 // Bellman-Ford. On success it returns a satisfying assignment (shortest-path
-// potentials, shifted so the minimum is zero). Constraints referencing
-// variables outside [0,n) cause a panic.
+// potentials, shifted so the minimum is zero); the assignment satisfies
+// every constraint to within Eps. Constraints referencing variables outside
+// [0,n) cause a panic.
 func Feasible(n int, cons []DiffConstraint) ([]float64, bool) {
 	// Virtual source with zero-weight edges to every node is equivalent to
 	// initializing all distances to zero.
@@ -83,7 +92,7 @@ func Feasible(n int, cons []DiffConstraint) ([]float64, bool) {
 				panic(fmt.Sprintf("skew: constraint %+v out of range n=%d", c, n))
 			}
 			// t_U <= t_V + Bound: relax edge V -> U with weight Bound.
-			if nd := dist[c.V] + c.Bound; nd < dist[c.U]-1e-9 {
+			if nd := dist[c.V] + c.Bound; nd < dist[c.U]-Eps {
 				dist[c.U] = nd
 				changed = true
 			}
@@ -347,13 +356,22 @@ func WeightedSum(n int, cons []DiffConstraint, targets []float64, weights []floa
 	return trueObj, t, nil
 }
 
-// Verify checks a schedule against the difference constraints, returning the
-// worst violation (<= 0 means feasible).
+// Verify checks a schedule against the difference constraints, returning
+// the worst violation: <= 0 means feasible, and certificates produced by
+// Feasible may legitimately violate by up to Eps (compare against Eps, not
+// 0, when verifying them). A self-loop constraint 0 <= Bound contributes a
+// violation of -Bound only when violated (Bound < 0); satisfied self-loops
+// constrain nothing and are skipped. An empty constraint set — or one whose
+// every constraint is a satisfied self-loop — has no violation at all and
+// returns 0, never -Inf.
 func Verify(t []float64, cons []DiffConstraint) float64 {
 	worst := math.Inf(-1)
 	for _, c := range cons {
 		var v float64
 		if c.U == c.V {
+			if c.Bound >= 0 {
+				continue
+			}
 			v = -c.Bound
 		} else {
 			v = t[c.U] - t[c.V] - c.Bound
@@ -361,6 +379,9 @@ func Verify(t []float64, cons []DiffConstraint) float64 {
 		if v > worst {
 			worst = v
 		}
+	}
+	if math.IsInf(worst, -1) {
+		return 0
 	}
 	return worst
 }

@@ -1,14 +1,21 @@
 #!/bin/sh
 # CI entry points for the repo: test, race, bench.
 #
-#   scripts/ci.sh test    go build + go vet + go test over every package
-#                         (tier-1 gate)
+#   scripts/ci.sh test    go build + gofmt -l + go vet + go test over every
+#                         package (tier-1 gate)
 #   scripts/ci.sh race    go test -race over every package (parallel kernels)
 #   scripts/ci.sh fuzz    smoke-fuzz every Fuzz target (10s each) on top of
 #                         the checked-in corpora under testdata/fuzz/
 #   scripts/ci.sh bench   run the benchmark suite with -benchmem and record
 #                         it as BENCH_baseline.json so future PRs have a
 #                         perf trajectory to compare against
+#   scripts/ci.sh benchcmp
+#                         run the placer hot-path benchmarks
+#                         (BenchmarkGlobalPlace, BenchmarkSystemBuildVsReuse,
+#                         BenchmarkCGSolve) and diff ns/op and allocs/op
+#                         against the recorded BENCH_baseline.json, so the
+#                         build-once reuse perf claim is reproducible in one
+#                         command; the baseline file is NOT rewritten
 #   scripts/ci.sh golden  run only the golden-table regression harness
 #                         (UPDATE=1 re-records the goldens after a reviewed
 #                         table change)
@@ -29,6 +36,12 @@ cmd="${1:-test}"
 case "$cmd" in
 test)
     go build ./...
+    unformatted="$(gofmt -l .)"
+    if [ -n "$unformatted" ]; then
+        echo "gofmt -l: the following files need formatting:" >&2
+        echo "$unformatted" >&2
+        exit 1
+    fi
     go vet ./...
     go test ./...
     ;;
@@ -66,6 +79,51 @@ bench)
     ' "$raw" > "$out"
     echo "wrote $out (benchtime $benchtime)"
     ;;
+benchcmp)
+    benchtime="${BENCHTIME:-1x}"
+    baseline="${BENCH_BASELINE:-BENCH_baseline.json}"
+    raw="$(mktemp)"
+    trap 'rm -f "$raw"' EXIT
+    go test -run '^$' \
+        -bench '^(BenchmarkGlobalPlace|BenchmarkSystemBuildVsReuse|BenchmarkCGSolve)$' \
+        -benchmem -benchtime "$benchtime" ./internal/placer/ | tee "$raw"
+    echo
+    echo "=== comparison against $baseline (ns/op, allocs/op) ==="
+    awk -v baseline="$baseline" '
+        BEGIN {
+            # Index the baseline: one JSON object per line, machine-written
+            # by `scripts/ci.sh bench` (name, ns/op, allocs/op fields).
+            while ((getline line < baseline) > 0) {
+                if (match(line, /"name": "[^"]*"/)) {
+                    name = substr(line, RSTART + 9, RLENGTH - 10)
+                    ns = ""; al = ""
+                    if (match(line, /"ns\/op": [0-9.e+]*/))
+                        ns = substr(line, RSTART + 9, RLENGTH - 9)
+                    if (match(line, /"allocs\/op": [0-9.e+]*/))
+                        al = substr(line, RSTART + 13, RLENGTH - 13)
+                    baseNs[name] = ns; baseAl[name] = al
+                }
+            }
+            printf "%-42s %14s %14s %9s %9s\n", "benchmark", "ns/op", "base-ns/op", "ns-ratio", "allocs-x"
+        }
+        /^Benchmark/ {
+            name = $1
+            sub(/-[0-9]+$/, "", name) # strip the GOMAXPROCS suffix
+            ns = $3
+            al = ""
+            for (i = 4; i < NF; i++)
+                if ($(i + 1) == "allocs/op") al = $i
+            if (!(name in baseNs)) {
+                printf "%-42s %14s %14s %9s %9s\n", name, ns, "(new)", "-", "-"
+                next
+            }
+            nsr = (baseNs[name] > 0) ? ns / baseNs[name] : 0
+            alr = (baseAl[name] != "" && baseAl[name] > 0 && al != "") ? baseAl[name] / al : 0
+            printf "%-42s %14s %14s %8.2fx %8.2fx\n", name, ns, baseNs[name], nsr, alr
+        }
+    ' "$raw"
+    echo "(ns-ratio < 1 is faster than baseline; allocs-x is the allocation reduction factor)"
+    ;;
 golden)
     if [ "${UPDATE:-0}" = "1" ]; then
         go test ./internal/exp -run '^TestGolden' -count=1 -update
@@ -97,7 +155,7 @@ cover)
     fi
     ;;
 *)
-    echo "usage: scripts/ci.sh {test|race|fuzz|bench|golden|cover}" >&2
+    echo "usage: scripts/ci.sh {test|race|fuzz|bench|benchcmp|golden|cover}" >&2
     exit 2
     ;;
 esac
