@@ -1,7 +1,10 @@
 # Tier-1 gate, race gate, fuzz smoke, benchmark baseline, placer perf
-# comparison, golden tables, and coverage gate. See scripts/ci.sh.
+# comparison, differential-oracle campaign, golden tables, and coverage
+# gate. See scripts/ci.sh. `make ci` chains the deterministic gates.
 
-.PHONY: test race fuzz bench benchcmp golden cover
+SEEDS ?= 25
+
+.PHONY: test race fuzz bench benchcmp oracle golden cover ci
 
 test:
 	sh scripts/ci.sh test
@@ -18,8 +21,13 @@ bench:
 benchcmp:
 	sh scripts/ci.sh benchcmp
 
+oracle:
+	SEEDS=$(SEEDS) sh scripts/ci.sh oracle
+
 golden:
 	sh scripts/ci.sh golden
 
 cover:
 	sh scripts/ci.sh cover
+
+ci: test race golden oracle cover

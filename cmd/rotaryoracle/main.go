@@ -1,0 +1,66 @@
+// Command rotaryoracle runs the differential-testing campaign: N seeded
+// random instances through every reference solver and metamorphic oracle in
+// internal/oracle, shrinking any failure to a minimized JSON repro.
+//
+// Usage:
+//
+//	rotaryoracle [-seeds 200] [-seed0 1] [-repros testdata/repros] [-fullflow 10] [-v]
+//
+// Exits 0 when every check passes, 1 on any violation (after writing the
+// shrunk repros), 2 on a driver error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rotaryclk/internal/oracle"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		seeds    = flag.Int("seeds", 25, "number of random instances to generate")
+		seed0    = flag.Int64("seed0", 1, "first seed of the campaign")
+		repros   = flag.String("repros", "testdata/repros", "directory for minimized failure repros")
+		fullflow = flag.Int("fullflow", 10, "run the full-flow translation check every k-th seed (<0 disables)")
+		verbose  = flag.Bool("v", false, "log every violation and periodic progress")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "rotaryoracle: unexpected arguments: %v\n", flag.Args())
+		return 2
+	}
+
+	opts := oracle.Options{
+		Seeds:         *seeds,
+		Seed0:         *seed0,
+		ReproDir:      *repros,
+		FullFlowEvery: *fullflow,
+	}
+	if *verbose {
+		opts.Log = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "rotaryoracle: "+format+"\n", args...)
+		}
+	}
+	rep, err := oracle.RunCampaign(opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rotaryoracle: %v\n", err)
+		return 2
+	}
+	fmt.Printf("rotaryoracle: %s\n", rep.Summary())
+	if len(rep.Violations) > 0 {
+		for _, v := range rep.Violations {
+			fmt.Fprintf(os.Stderr, "rotaryoracle: %v\n", &v)
+		}
+		for _, p := range rep.Repros {
+			fmt.Fprintf(os.Stderr, "rotaryoracle: repro written: %s\n", p)
+		}
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,167 @@
+package assign
+
+// Property tests for the tapping-solve cache and the nearest-point
+// fallback. The cache tests assert bit-equality, not tolerance-equality:
+// a cache hit must return the very float64s the solver would have
+// produced, or flow results become dependent on cache warmth. The
+// fallback tests arm the tapping solver's fault-injection site, so they
+// must not run in parallel with other injection tests.
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"rotaryclk/internal/faultinject"
+)
+
+// assertBitEqual asserts two assignments are bit-for-bit identical in every
+// floating-point field and identical in every integer field.
+func assertBitEqual(t *testing.T, a, b *Assignment) {
+	t.Helper()
+	bits := func(x float64) uint64 { return math.Float64bits(x) }
+	if bits(a.Total) != bits(b.Total) || bits(a.MaxCap) != bits(b.MaxCap) || bits(a.AvgDist) != bits(b.AvgDist) {
+		t.Fatalf("summary metrics differ: (%v,%v,%v) vs (%v,%v,%v)",
+			a.Total, a.MaxCap, a.AvgDist, b.Total, b.MaxCap, b.AvgDist)
+	}
+	if len(a.Ring) != len(b.Ring) || len(a.Taps) != len(b.Taps) {
+		t.Fatalf("sizes differ: %d/%d rings, %d/%d taps", len(a.Ring), len(b.Ring), len(a.Taps), len(b.Taps))
+	}
+	for i := range a.Ring {
+		if a.Ring[i] != b.Ring[i] {
+			t.Fatalf("ff %d assigned to ring %d vs %d", i, a.Ring[i], b.Ring[i])
+		}
+		ta, tb := a.Taps[i], b.Taps[i]
+		if bits(ta.WireLen) != bits(tb.WireLen) || bits(ta.Delay) != bits(tb.Delay) ||
+			bits(ta.Point.X) != bits(tb.Point.X) || bits(ta.Point.Y) != bits(tb.Point.Y) {
+			t.Fatalf("ff %d taps differ: %+v vs %+v", i, ta, tb)
+		}
+	}
+	for j := range a.Loads {
+		if bits(a.Loads[j]) != bits(b.Loads[j]) {
+			t.Fatalf("ring %d load differs: %v vs %v", j, a.Loads[j], b.Loads[j])
+		}
+	}
+}
+
+// TestMinCostCacheBitEquality solves the same problems with no cache, a
+// cold cache, and a warm cache; all three must agree to the bit.
+func TestMinCostCacheBitEquality(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		pNone := testProblem(t, 14, seed)
+		pNone.Parallelism = 1
+		base, err := MinCost(pNone)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		cache := NewTapCache()
+		pCold := testProblem(t, 14, seed)
+		pCold.Parallelism = 1
+		pCold.Cache = cache
+		cold, err := MinCost(pCold)
+		if err != nil {
+			t.Fatalf("seed %d cold cache: %v", seed, err)
+		}
+		assertBitEqual(t, base, cold)
+		pWarm := testProblem(t, 14, seed)
+		pWarm.Parallelism = 1
+		pWarm.Cache = cache // every solve now hits
+		warm, err := MinCost(pWarm)
+		if err != nil {
+			t.Fatalf("seed %d warm cache: %v", seed, err)
+		}
+		assertBitEqual(t, base, warm)
+	}
+}
+
+// TestMinMaxCapCacheBitEquality: the same for the load-balancing objective.
+func TestMinMaxCapCacheBitEquality(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		pNone := testProblem(t, 12, seed)
+		pNone.Parallelism = 1
+		base, _, err := MinMaxCap(pNone)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		cache := NewTapCache()
+		for pass := 0; pass < 2; pass++ {
+			p := testProblem(t, 12, seed)
+			p.Parallelism = 1
+			p.Cache = cache
+			got, _, err := MinMaxCap(p)
+			if err != nil {
+				t.Fatalf("seed %d pass %d: %v", seed, pass, err)
+			}
+			assertBitEqual(t, base, got)
+		}
+	}
+}
+
+// TestFallbackOnlyOnSolverFailure: with a healthy tapping solver the
+// fallback path must never activate, and enabling it must not change the
+// result.
+func TestFallbackOnlyOnSolverFailure(t *testing.T) {
+	p1 := testProblem(t, 12, 3)
+	p1.Parallelism = 1
+	base, err := MinCost(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Fallbacks) != 0 {
+		t.Fatalf("fallbacks used with a healthy solver: %v", base.Fallbacks)
+	}
+	p2 := testProblem(t, 12, 3)
+	p2.Parallelism = 1
+	p2.TapFallback = true
+	got, err := MinCost(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Fallbacks) != 0 {
+		t.Fatalf("fallbacks used with a healthy solver and TapFallback on: %v", got.Fallbacks)
+	}
+	assertBitEqual(t, base, got)
+}
+
+// TestFallbackOnTotalSolverFailure fails every tapping solve by fault
+// injection: without TapFallback the problem is infeasible; with it, every
+// flip-flop lands on the nearest point of its nearest ring and is reported
+// in Fallbacks.
+func TestFallbackOnTotalSolverFailure(t *testing.T) {
+	errTap := errors.New("injected tapping fault")
+	restore := faultinject.Enable(faultinject.Rule{Site: faultinject.SiteRotarySolveTap, Err: errTap})
+	defer restore()
+
+	p := testProblem(t, 8, 4)
+	p.Parallelism = 1
+	if _, err := MinCost(p); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("want ErrInfeasible without fallback, got %v", err)
+	}
+
+	p = testProblem(t, 8, 4)
+	p.Parallelism = 1
+	p.TapFallback = true
+	// Each flip-flop has exactly one (fallback) candidate, so the default
+	// per-ring capacity can clash; lift it out of the way.
+	p.Capacity = make([]int, len(p.Array.Rings))
+	for j := range p.Capacity {
+		p.Capacity[j] = len(p.FFs)
+	}
+	a, err := MinCost(p)
+	if err != nil {
+		t.Fatalf("fallback assignment failed: %v", err)
+	}
+	if len(a.Fallbacks) != len(p.FFs) {
+		t.Fatalf("%d of %d flip-flops fell back; with every solve failing all must", len(a.Fallbacks), len(p.FFs))
+	}
+	for i, ff := range p.FFs {
+		r := p.Array.Rings[a.Ring[i]]
+		_, pt, dist := r.Nearest(ff.Pos)
+		if a.Taps[i].Point != pt {
+			t.Errorf("ff %d fallback tap %v is not the nearest ring point %v", i, a.Taps[i].Point, pt)
+		}
+		if math.Abs(a.Taps[i].WireLen-dist) > 1e-9 {
+			t.Errorf("ff %d fallback stub %v != nearest distance %v", i, a.Taps[i].WireLen, dist)
+		}
+	}
+}

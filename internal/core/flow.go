@@ -200,7 +200,15 @@ func Run(c *netlist.Circuit, cfg Config) (*Result, error) {
 	res := &Result{FFCells: c.FlipFlops()}
 	n := len(res.FFCells)
 	if n == 0 {
-		return nil, &StageError{Stage: 1, Kind: InvalidInput, Err: fmt.Errorf("circuit %q has no flip-flops", c.Name)}
+		// A circuit with no flip-flops has nothing for stages 2-6 to
+		// optimize, but it is still a placeable netlist. Strict mode keeps
+		// the hard error; otherwise the flow degenerates gracefully to
+		// stage 1 (placement) plus the ring array, with an empty assignment
+		// and signal-only metrics.
+		if cfg.Strict {
+			return nil, &StageError{Stage: 1, Kind: InvalidInput, Err: fmt.Errorf("circuit %q has no flip-flops", c.Name)}
+		}
+		return runSignalOnly(c, cfg, res)
 	}
 	ffIdx := make(map[int]int, n)
 	for i, id := range res.FFCells {
@@ -495,6 +503,70 @@ loop:
 		if res.Degraded {
 			reg.Add("core.degraded", 1)
 		}
+		root.End()
+		res.Metrics = reg.Snapshot()
+	}
+	return res, nil
+}
+
+// runSignalOnly is the zero-flip-flop degenerate flow: stage-1 placement and
+// the ring array are still built (the circuit is a legitimate placement
+// instance and the array a legitimate clock resource), but stages 2-5 have no
+// sequential elements to operate on, so the result carries an empty
+// assignment, a zero max-slack schedule, and signal-only metrics. Only
+// reached in non-strict mode.
+func runSignalOnly(c *netlist.Circuit, cfg Config, res *Result) (*Result, error) {
+	reg := obs.Resolve(cfg.Obs)
+	reg.Add("core.runs", 1)
+	root := reg.StartSpan("core.Run",
+		obs.S("circuit", c.Name),
+		obs.S("assigner", cfg.Assigner.String()),
+		obs.I("rings", cfg.NumRings),
+		obs.I("flipflops", 0))
+	defer root.End()
+
+	psys, err := placer.NewSystem(c, reg)
+	if err != nil {
+		return nil, stageErr(1, 0, fmt.Errorf("placement system: %w", err))
+	}
+	tPlace := time.Now()
+	s1 := root.Child("stage1.place")
+	if !cfg.SkipInitialPlace {
+		err := psys.Global(placer.Options{Parallelism: cfg.Parallelism, Obs: reg})
+		if err != nil && errors.Is(err, placer.ErrNonConverged) {
+			res.event(1, 0, NonConverged, "keeping best-effort placement from stagnated solve", err)
+			err = nil
+		}
+		if err != nil {
+			return nil, stageErr(1, 0, fmt.Errorf("global placement: %w", err))
+		}
+		if err := placer.Legalize(c); err != nil {
+			return nil, stageErr(1, 0, fmt.Errorf("legalization: %w", err))
+		}
+		if _, err := placer.Detailed(c, 2); err != nil {
+			return nil, stageErr(1, 0, fmt.Errorf("detailed placement: %w", err))
+		}
+	}
+	s1.End()
+	res.PlaceSeconds += time.Since(tPlace).Seconds()
+
+	arr, err := rotary.SquareArray(c.Die, cfg.NumRings, cfg.RingFill, cfg.Params)
+	if err != nil {
+		return nil, &StageError{Stage: 3, Kind: InvalidInput, Err: fmt.Errorf("ring array: %w", err)}
+	}
+	res.Array = arr
+	res.Assign = &assign.Assignment{
+		Ring:  []int{},
+		Taps:  []rotary.Tap{},
+		Loads: make([]float64, len(arr.Rings)),
+	}
+	res.Schedule = []float64{}
+	res.event(2, 0, InvalidInput, "no flip-flops: skipping skew, assignment, and re-optimization stages", nil)
+	res.Base = measure(c, cfg, res.Assign, 0)
+	res.Final = res.Base
+	res.PerIter = append(res.PerIter, res.Base)
+	if reg != nil {
+		reg.Add("core.events", int64(len(res.Events)))
 		root.End()
 		res.Metrics = reg.Snapshot()
 	}

@@ -38,7 +38,10 @@ func (s *GenSpec) applyDefaults() error {
 	if s.Cells <= 0 {
 		return fmt.Errorf("netlist: GenSpec.Cells must be positive, got %d", s.Cells)
 	}
-	if s.FlipFlops < 0 || s.FlipFlops >= s.Cells {
+	// FlipFlops == Cells is a legal corner: an FF-only circuit (no
+	// combinational gates) where every D input is fed straight from the
+	// level-0 pool (primary inputs and upstream flip-flop outputs).
+	if s.FlipFlops < 0 || s.FlipFlops > s.Cells {
 		return fmt.Errorf("netlist: GenSpec.FlipFlops=%d out of range for %d cells", s.FlipFlops, s.Cells)
 	}
 	if s.Inputs <= 0 {

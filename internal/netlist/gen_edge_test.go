@@ -1,0 +1,101 @@
+package netlist_test
+
+// Degenerate-shape tests: the generator's corner specs (no flip-flops at
+// all, flip-flops only, tiny cell counts) must produce valid circuits, and
+// the non-strict integrated flow must carry each of them end to end without
+// a StageError — returning a degraded-but-structured result instead of
+// falling over. This is an external test package because it closes the loop
+// through internal/core, which itself imports netlist.
+
+import (
+	"errors"
+	"testing"
+
+	"rotaryclk/internal/core"
+	"rotaryclk/internal/geom"
+	"rotaryclk/internal/netlist"
+)
+
+func TestGenerateEdgeShapes(t *testing.T) {
+	cases := []struct {
+		name  string
+		spec  netlist.GenSpec
+		rings int
+	}{
+		{
+			name:  "zero flip-flops",
+			spec:  netlist.GenSpec{Cells: 40, FlipFlops: 0, Seed: 1},
+			rings: 4,
+		},
+		{
+			name:  "single ring",
+			spec:  netlist.GenSpec{Cells: 40, FlipFlops: 6, Seed: 2},
+			rings: 1,
+		},
+		{
+			name:  "flip-flops only",
+			spec:  netlist.GenSpec{Cells: 12, FlipFlops: 12, Seed: 3},
+			rings: 4,
+		},
+		{
+			// Cells are sized to hit the row utilization, so a single cell
+			// at the default 0.7 fills most of its row and can never
+			// legalize (row quota + the cell itself exceeds the die width);
+			// a sparse die makes the one-cell circuit placeable.
+			name:  "single cell",
+			spec:  netlist.GenSpec{Cells: 1, FlipFlops: 1, Seed: 4, Util: 0.1, Die: geom.NewRect(geom.Pt(0, 0), geom.Pt(400, 400))},
+			rings: 1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, err := netlist.Generate(tc.spec)
+			if err != nil {
+				t.Fatalf("Generate: %v", err)
+			}
+			if err := c.Validate(); err != nil {
+				t.Fatalf("generated circuit invalid: %v", err)
+			}
+			ffs := 0
+			for _, cell := range c.Cells {
+				if cell.Kind == netlist.FF {
+					ffs++
+				}
+			}
+			if ffs != tc.spec.FlipFlops {
+				t.Fatalf("generated %d flip-flops, spec says %d", ffs, tc.spec.FlipFlops)
+			}
+
+			res, err := core.Run(c, core.Config{
+				NumRings:    tc.rings,
+				MaxIters:    2,
+				Parallelism: 1,
+			})
+			var se *core.StageError
+			if errors.As(err, &se) {
+				t.Fatalf("non-strict flow raised a StageError on a legal corner: %v", se)
+			}
+			if err != nil {
+				t.Fatalf("flow failed: %v", err)
+			}
+			if res.Assign == nil || res.Schedule == nil {
+				t.Fatal("flow result missing assignment or schedule")
+			}
+			if len(res.Assign.Ring) != tc.spec.FlipFlops {
+				t.Errorf("assignment covers %d flip-flops, want %d", len(res.Assign.Ring), tc.spec.FlipFlops)
+			}
+			if len(res.Schedule) != tc.spec.FlipFlops {
+				t.Errorf("schedule covers %d flip-flops, want %d", len(res.Schedule), tc.spec.FlipFlops)
+			}
+			if tc.spec.FlipFlops == 0 {
+				// The signal-only path still measures the placement.
+				if res.Final.SignalWL <= 0 {
+					t.Errorf("zero-FF flow reported signal wirelength %v", res.Final.SignalWL)
+				}
+				if res.Final.TapWL != 0 {
+					t.Errorf("zero-FF flow reported tapping wirelength %v", res.Final.TapWL)
+				}
+			}
+		})
+	}
+}

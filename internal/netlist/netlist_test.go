@@ -252,8 +252,13 @@ func TestGenerateRejectsBadSpec(t *testing.T) {
 	if _, err := Generate(GenSpec{Cells: 0}); err == nil {
 		t.Error("expected error for zero cells")
 	}
-	if _, err := Generate(GenSpec{Cells: 10, FlipFlops: 10}); err == nil {
-		t.Error("expected error for all-FF circuit")
+	if _, err := Generate(GenSpec{Cells: 10, FlipFlops: 11}); err == nil {
+		t.Error("expected error for more flip-flops than cells")
+	}
+	// FlipFlops == Cells (an FF-only circuit) is a legal corner since the
+	// generator feeds every D input from the level-0 pool.
+	if _, err := Generate(GenSpec{Cells: 10, FlipFlops: 10}); err != nil {
+		t.Errorf("all-FF circuit rejected: %v", err)
 	}
 }
 

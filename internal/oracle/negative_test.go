@@ -1,0 +1,139 @@
+package oracle
+
+// Negative tests: arm one faultinject rule in a production solver and prove
+// the oracle layer detects it — the acceptance criterion that the oracles
+// actually fire, not merely pass on healthy code. The injector's counters
+// are process-global, so none of these tests run in parallel.
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"strings"
+	"testing"
+
+	"rotaryclk/internal/faultinject"
+)
+
+var errInjected = errors.New("injected solver fault")
+
+// runFaultCampaign arms one every-call rule and runs a short campaign with
+// the full-flow check disabled (an injected fault makes both flow runs fail
+// consistently, which the translation oracle rightly treats as agreement).
+func runFaultCampaign(t *testing.T, site string) (*Report, string) {
+	t.Helper()
+	restore := faultinject.Enable(faultinject.Rule{Site: site, Err: errInjected})
+	defer restore()
+	dir := t.TempDir()
+	rep, err := RunCampaign(Options{
+		Seeds:         5,
+		ReproDir:      dir,
+		FullFlowEvery: -1,
+	})
+	if err != nil {
+		t.Fatalf("campaign driver error: %v", err)
+	}
+	return rep, dir
+}
+
+// assertDetected asserts at least one violation from the expected oracle,
+// and that every written repro is shrunk to at most 12 flip-flops and still
+// parses.
+func assertDetected(t *testing.T, rep *Report, dir, wantOracle string) {
+	t.Helper()
+	found := false
+	for _, v := range rep.Violations {
+		if strings.HasPrefix(v.Oracle, wantOracle) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no violation from oracle %q; got %v", wantOracle, rep.Violations)
+	}
+	if len(rep.Repros) == 0 {
+		t.Fatal("violations reported but no repro written")
+	}
+	for _, path := range rep.Repros {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("repro unreadable: %v", err)
+		}
+		var r Repro
+		if err := json.Unmarshal(data, &r); err != nil {
+			t.Fatalf("repro %s does not parse: %v", path, err)
+		}
+		if r.Assign != nil && len(r.Assign.FFs) > 12 {
+			t.Errorf("repro %s not shrunk: %d flip-flops", path, len(r.Assign.FFs))
+		}
+		if r.Oracle == "" || r.Detail == "" {
+			t.Errorf("repro %s missing oracle/detail", path)
+		}
+	}
+}
+
+func TestFaultMcmfDetected(t *testing.T) {
+	rep, dir := runFaultCampaign(t, faultinject.SiteMcmfMinCostFlow)
+	assertDetected(t, rep, dir, "assign/mincost")
+}
+
+func TestFaultLPDetected(t *testing.T) {
+	rep, dir := runFaultCampaign(t, faultinject.SiteLPSolve)
+	assertDetected(t, rep, dir, "assign/minmaxcap")
+}
+
+func TestFaultSkewDetected(t *testing.T) {
+	rep, dir := runFaultCampaign(t, faultinject.SiteSkewMaxSlack)
+	assertDetected(t, rep, dir, "skew/maxslack")
+}
+
+func TestFaultRotaryDetected(t *testing.T) {
+	rep, dir := runFaultCampaign(t, faultinject.SiteRotarySolveTap)
+	assertDetected(t, rep, dir, "rotary/tapscan")
+}
+
+func TestFaultPlacerCGDetected(t *testing.T) {
+	rep, dir := runFaultCampaign(t, faultinject.SitePlacerCG)
+	assertDetected(t, rep, dir, "placer/densesolve")
+}
+
+// TestShrunkReproStillFails closes the loop on one fault: the minimized
+// assign repro, re-run through the same oracle with the fault still armed,
+// must still fail — and with the fault removed, must pass.
+func TestShrunkReproStillFails(t *testing.T) {
+	restore := faultinject.Enable(faultinject.Rule{Site: faultinject.SiteMcmfMinCostFlow, Err: errInjected})
+	defer restore()
+	dir := t.TempDir()
+	rep, err := RunCampaign(Options{Seeds: 2, ReproDir: dir, FullFlowEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shrunk *AssignInstance
+	for _, path := range rep.Repros {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var r Repro
+		if err := json.Unmarshal(data, &r); err != nil {
+			t.Fatal(err)
+		}
+		if r.Oracle == "assign/mincost" && r.Assign != nil {
+			shrunk = r.Assign
+			break
+		}
+	}
+	if shrunk == nil {
+		t.Fatal("no assign/mincost repro written")
+	}
+	if len(shrunk.FFs) != 1 || len(shrunk.Rings) != 1 {
+		t.Errorf("every-call fault should shrink to 1 FF / 1 ring, got %d/%d",
+			len(shrunk.FFs), len(shrunk.Rings))
+	}
+	if vs := CheckMinCost(shrunk, 0); len(vs) == 0 {
+		t.Error("shrunk repro no longer fails with the fault armed")
+	}
+	restore()
+	if vs := CheckMinCost(shrunk, 0); len(vs) > 0 {
+		t.Errorf("shrunk repro fails on clean code: %v", &vs[0])
+	}
+}

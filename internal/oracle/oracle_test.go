@@ -1,0 +1,196 @@
+package oracle
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rotaryclk/internal/geom"
+	"rotaryclk/internal/skew"
+)
+
+// TestCampaignClean is the tier-1 smoke of the whole subsystem: a moderate
+// seeded campaign on clean production code must come back violation-free.
+func TestCampaignClean(t *testing.T) {
+	rep, err := RunCampaign(Options{
+		Seeds:         40,
+		ReproDir:      t.TempDir(),
+		FullFlowEvery: 8,
+	})
+	if err != nil {
+		t.Fatalf("campaign driver error: %v", err)
+	}
+	if len(rep.Violations) > 0 {
+		for _, v := range rep.Violations {
+			t.Errorf("unexpected violation: %v", &v)
+		}
+	}
+	if rep.Seeds != 40 {
+		t.Errorf("ran %d seeds, want 40", rep.Seeds)
+	}
+	if rep.Checks < 8*40 {
+		t.Errorf("only %d checks across 40 seeds; the per-seed oracle set shrank", rep.Checks)
+	}
+	if len(rep.Repros) != 0 {
+		t.Errorf("repros written on a clean run: %v", rep.Repros)
+	}
+}
+
+func TestCloseRel(t *testing.T) {
+	cases := []struct {
+		a, b, rel, abs float64
+		want           bool
+	}{
+		{1, 1, 0, 0, true},
+		{1, 1 + 1e-10, 1e-9, 0, true},
+		{1, 1 + 1e-8, 1e-9, 0, false},
+		{0, 1e-10, 0, 1e-9, true},
+		{1e9, 1e9 * (1 + 1e-10), 1e-9, 0, true},
+		{math.NaN(), 1, 1, 1, false},
+		{1, math.NaN(), 1, 1, false},
+	}
+	for _, c := range cases {
+		if got := closeRel(c.a, c.b, c.rel, c.abs); got != c.want {
+			t.Errorf("closeRel(%g, %g, %g, %g) = %v, want %v", c.a, c.b, c.rel, c.abs, got, c.want)
+		}
+	}
+}
+
+func TestBruteMinCostHandcrafted(t *testing.T) {
+	// Two FFs, two rings, capacity 1 each: the greedy pick (FF0 on ring 0 at
+	// cost 1) forces FF1 to its expensive arc; the optimum crosses over.
+	arcs := [][]arc{
+		{{ring: 0, cost: 1}, {ring: 1, cost: 5}},
+		{{ring: 0, cost: 2}, {ring: 1, cost: 3}},
+	}
+	best, ok, hit := bruteMinCost(arcs, []int{1, 1})
+	if !ok || hit {
+		t.Fatalf("bruteMinCost ok=%v budgetHit=%v", ok, hit)
+	}
+	if best != 4 {
+		t.Errorf("optimum %g, want 4 (cross assignment)", best)
+	}
+	// Capacity 0 on both rings: provably infeasible.
+	_, ok, hit = bruteMinCost(arcs, []int{0, 0})
+	if ok || hit {
+		t.Errorf("want infeasible without budget hit, got ok=%v hit=%v", ok, hit)
+	}
+}
+
+func TestBruteMinMaxCapHandcrafted(t *testing.T) {
+	// Three FFs, two rings, unit caps: balancing 2/1 gives max load 2.
+	arcs := [][]arc{
+		{{ring: 0, cap: 1}, {ring: 1, cap: 1}},
+		{{ring: 0, cap: 1}, {ring: 1, cap: 1}},
+		{{ring: 0, cap: 1}, {ring: 1, cap: 1}},
+	}
+	best, ok, hit := bruteMinMaxCap(arcs, 2)
+	if !ok || hit {
+		t.Fatalf("bruteMinMaxCap ok=%v budgetHit=%v", ok, hit)
+	}
+	if best != 2 {
+		t.Errorf("optimum %g, want 2", best)
+	}
+}
+
+func TestRefFeasible(t *testing.T) {
+	// x0 - x1 <= -1, x1 - x0 <= -1 is a classic negative cycle.
+	bad := []skew.DiffConstraint{{U: 0, V: 1, Bound: -1}, {U: 1, V: 0, Bound: -1}}
+	if _, ok := refFeasible(2, bad); ok {
+		t.Error("negative cycle reported feasible")
+	}
+	good := []skew.DiffConstraint{{U: 0, V: 1, Bound: -1}, {U: 1, V: 0, Bound: 3}}
+	dist, ok := refFeasible(2, good)
+	if !ok {
+		t.Fatal("feasible system reported infeasible")
+	}
+	for _, c := range good {
+		if dist[c.U]-dist[c.V] > c.Bound+1e-9 {
+			t.Errorf("certificate violates %d-%d <= %g", c.U, c.V, c.Bound)
+		}
+	}
+}
+
+func TestGaussSolve(t *testing.T) {
+	A := [][]float64{{4, 1}, {1, 3}}
+	b := []float64{1, 2}
+	x, ok := gaussSolve(A, b)
+	if !ok {
+		t.Fatal("well-conditioned system reported singular")
+	}
+	want := []float64{1.0 / 11, 7.0 / 11}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-12 {
+			t.Errorf("x[%d] = %.15g, want %.15g", i, x[i], want[i])
+		}
+	}
+	if _, ok := gaussSolve([][]float64{{1, 1}, {1, 1}}, []float64{1, 2}); ok {
+		t.Error("singular system solved")
+	}
+}
+
+// TestScanTapAgainstSolver cross-validates the dense scan against the
+// production tapping solver over many random single-ring queries; this is
+// CheckTap run directly, outside the campaign.
+func TestScanTapAgainstSolver(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 300; i++ {
+		in := genTap(rng)
+		if vs := CheckTap(in, int64(i)); len(vs) > 0 {
+			t.Fatalf("iteration %d: %v (instance %+v)", i, &vs[0], in)
+		}
+	}
+}
+
+func TestWriteReproRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	r := &Repro{
+		Oracle: "assign/mincost",
+		Seed:   17,
+		Detail: "solver total 3 != exhaustive optimum 2",
+		Assign: &AssignInstance{
+			Rings: []RingSpec{{Center: geom.Pt(100, 100), Side: 300, Dir: 1}},
+			FFs:   []FFSpec{{Pos: geom.Pt(50, 50), Target: 125}},
+			K:     3,
+		},
+	}
+	path, err := WriteRepro(dir, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "assign-mincost-seed17.json" {
+		t.Errorf("unexpected repro name %q", filepath.Base(path))
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Repro
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("repro does not parse: %v", err)
+	}
+	if back.Oracle != r.Oracle || back.Seed != r.Seed || len(back.Assign.FFs) != 1 {
+		t.Errorf("round trip mismatch: %+v", back)
+	}
+}
+
+// TestMetamorphicHandcrafted pins the metamorphic checks on one fixed
+// instance so a regression in the checks themselves (not the solvers)
+// fails deterministically.
+func TestMetamorphicHandcrafted(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	in := genAssign(rng)
+	if vs := CheckScale(in, 5); len(vs) > 0 {
+		t.Errorf("CheckScale: %v", &vs[0])
+	}
+	perm := rng.Perm(len(in.FFs))
+	if vs := CheckPermute(in, perm, 5); len(vs) > 0 {
+		t.Errorf("CheckPermute: %v", &vs[0])
+	}
+	if vs := CheckTighten(in, 5); len(vs) > 0 {
+		t.Errorf("CheckTighten: %v", &vs[0])
+	}
+}

@@ -1,0 +1,198 @@
+package oracle
+
+import (
+	"fmt"
+	"math"
+
+	"rotaryclk/internal/geom"
+	"rotaryclk/internal/placer"
+)
+
+// densePlace solves the instance's quadratic placement with a dense matrix
+// and Gaussian elimination with partial pivoting — the same declared model
+// as the placer's CSR/CG System (2-pin nets weight 1, star nodes for 3+-pin
+// nets at weight k/(k-1)/2, fixed cells as anchors, pseudo-net overlay,
+// die-center regularization for disconnected unknowns) assembled and solved
+// completely differently. Returns the movable cells' positions clamped into
+// the die, or ok=false on a singular system.
+func densePlace(in *PlaceInstance) (pos []geom.Point, ok bool) {
+	idx := make([]int, len(in.Cells)) // cell -> unknown, -1 if fixed
+	var movable []int
+	for i, c := range in.Cells {
+		if c.Fixed {
+			idx[i] = -1
+			continue
+		}
+		idx[i] = len(movable)
+		movable = append(movable, i)
+	}
+	nStar := 0
+	for _, pins := range in.Nets {
+		if len(pins) >= 3 {
+			nStar++
+		}
+	}
+	n := len(movable) + nStar
+	if n == 0 {
+		return []geom.Point{}, true
+	}
+	A := make([][]float64, n)
+	for i := range A {
+		A[i] = make([]float64, n)
+	}
+	bx := make([]float64, n)
+	by := make([]float64, n)
+	addEdge := func(i, j int, w float64) {
+		A[i][i] += w
+		A[j][j] += w
+		A[i][j] -= w
+		A[j][i] -= w
+	}
+	addAnchor := func(i int, p geom.Point, w float64) {
+		A[i][i] += w
+		bx[i] += w * p.X
+		by[i] += w * p.Y
+	}
+	star := len(movable)
+	for _, pins := range in.Nets {
+		if len(pins) == 2 {
+			a, b := pins[0], pins[1]
+			switch {
+			case idx[a] >= 0 && idx[b] >= 0:
+				addEdge(idx[a], idx[b], 1)
+			case idx[a] >= 0:
+				addAnchor(idx[a], in.Die.Clamp(in.Cells[b].Pos), 1)
+			case idx[b] >= 0:
+				addAnchor(idx[b], in.Die.Clamp(in.Cells[a].Pos), 1)
+			}
+			continue
+		}
+		k := len(pins)
+		w := float64(k) / float64(k-1) / 2
+		for _, pid := range pins {
+			if idx[pid] >= 0 {
+				addEdge(idx[pid], star, w)
+			} else {
+				addAnchor(star, in.Die.Clamp(in.Cells[pid].Pos), w)
+			}
+		}
+		star++
+	}
+	for _, pn := range in.Pseudo {
+		if pn.Cell >= 0 && pn.Cell < len(in.Cells) && idx[pn.Cell] >= 0 && pn.Weight > 0 {
+			addAnchor(idx[pn.Cell], pn.Target, pn.Weight)
+		}
+	}
+	center := in.Die.Center()
+	for i := 0; i < n; i++ {
+		if A[i][i] == 0 {
+			addAnchor(i, center, 1e-3)
+		}
+	}
+
+	x, okx := gaussSolve(A, bx)
+	y, oky := gaussSolve(A, by)
+	if !okx || !oky {
+		return nil, false
+	}
+	pos = make([]geom.Point, len(movable))
+	for k := range movable {
+		pos[k] = in.Die.Clamp(geom.Pt(x[k], y[k]))
+	}
+	return pos, true
+}
+
+// gaussSolve solves A x = b by Gaussian elimination with partial pivoting
+// on a copy of the inputs.
+func gaussSolve(A [][]float64, b []float64) ([]float64, bool) {
+	n := len(b)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = append(append([]float64(nil), A[i]...), b[i])
+	}
+	for col := 0; col < n; col++ {
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(m[piv][col]) < 1e-300 {
+			return nil, false
+		}
+		m[col], m[piv] = m[piv], m[col]
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] / m[col][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c <= n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := m[i][n]
+		for c := i + 1; c < n; c++ {
+			s -= m[i][c] * x[c]
+		}
+		x[i] = s / m[i][i]
+	}
+	return x, true
+}
+
+// CheckPlace differentially tests the placer's build-once CSR system and
+// conjugate-gradients kernel (via System.SolveQP, one pure solve of the
+// quadratic model) against the dense Gaussian-elimination reference.
+func CheckPlace(in *PlaceInstance, seed int64) []Violation {
+	const name = "placer/densesolve"
+	ref, refOK := densePlace(in)
+	c, err := in.Circuit()
+	if err != nil {
+		return violationf(name, seed, "instance does not build: %v", err)
+	}
+	sys, err := placer.NewSystem(c, nil)
+	if err != nil {
+		if refOK {
+			return violationf(name, seed, "system build failed (%v) on a dense-solvable instance", err)
+		}
+		return nil
+	}
+	var pseudo []placer.PseudoNet
+	for _, pn := range in.Pseudo {
+		pseudo = append(pseudo, placer.PseudoNet{Cell: pn.Cell, Target: pn.Target, Weight: pn.Weight})
+	}
+	err = sys.SolveQP(placer.Options{PseudoNets: pseudo, Parallelism: 1})
+	if err != nil {
+		if refOK {
+			return violationf(name, seed, "CG solve failed (%v) but dense elimination solves the same system", err)
+		}
+		return nil
+	}
+	if !refOK {
+		// A floating component of movable cells (no fixed pin, no pseudo
+		// anchor) makes the system singular-but-consistent; CG handles that
+		// benignly while elimination cannot. A reference that fails to solve
+		// never indicts the solver.
+		return nil
+	}
+	tol := 1e-5*(in.Die.W()+in.Die.H()) + 1e-6
+	k := 0
+	for i, pc := range in.Cells {
+		if pc.Fixed {
+			continue
+		}
+		got := c.Cells[i].Pos
+		want := ref[k]
+		k++
+		if math.Abs(got.X-want.X) > tol || math.Abs(got.Y-want.Y) > tol {
+			return violationf(name, seed,
+				"movable cell %d placed at %s, dense reference says %s (tol %.3g um)",
+				i, fmtPoint(got), fmtPoint(want), tol)
+		}
+	}
+	return nil
+}
+
+func fmtPoint(p geom.Point) string { return fmt.Sprintf("(%.6f, %.6f)", p.X, p.Y) }

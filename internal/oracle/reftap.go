@@ -1,0 +1,221 @@
+package oracle
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"rotaryclk/internal/geom"
+	"rotaryclk/internal/rotary"
+)
+
+// scanSamples is the grid resolution per segment of the dense tap scan.
+const scanSamples = 512
+
+// invertStub solves StubDelay(l) = need for l >= 0 by bisection on the
+// monotone delay curve — independent of the solver's closed-form quadratic.
+func invertStub(p rotary.Params, need float64) (float64, bool) {
+	if need < 0 {
+		return 0, false
+	}
+	if need == 0 {
+		return 0, true
+	}
+	hi := 1.0
+	for p.StubDelay(hi) < need {
+		hi *= 2
+		if hi > 1e12 {
+			return 0, false
+		}
+	}
+	lo := 0.0
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if p.StubDelay(mid) < need {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi, true
+}
+
+// scanTap densely scans the eight tappable segments for the minimum-stub
+// tap realizing target (mod T) at ff, mirroring the solver's feasible set:
+// direct taps anywhere on a segment (stub = Manhattan distance), plus
+// end-of-segment wire snaking only on segments with no direct solution.
+// Root-finding is sign-change bracketing on a fine grid followed by
+// bisection — no closed-form case analysis. ok is false when no tap exists.
+func scanTap(in *TapInstance) (wire float64, pt geom.Point, ok bool) {
+	r := in.Ring.ring(0)
+	p := in.Params
+	T := p.Period
+	rho := r.Rho(T)
+	best := math.Inf(1)
+	var bestPt geom.Point
+
+	for _, seg := range r.Segments(T) {
+		b := seg.Seg.Length()
+		if b <= 0 {
+			continue
+		}
+		// Delay and stub length sampled on the grid.
+		f := make([]float64, scanSamples+1)
+		at := func(s float64) (geom.Point, float64) {
+			q := seg.Seg.At(s / b)
+			return q, in.FF.Manhattan(q)
+		}
+		delay := func(s float64) float64 {
+			_, l := at(s)
+			return seg.T0 + rho*s + p.StubDelay(l)
+		}
+		for i := 0; i <= scanSamples; i++ {
+			f[i] = delay(b * float64(i) / scanSamples)
+		}
+		// Reachable band of the segment, computed analytically: the delay
+		// curve is piecewise monotone between the endpoints, the flip-flop
+		// projection, and the left-branch stationary point (where the wave
+		// speed rho matches the stub delay's growth rate), so its extrema
+		// lie on those candidates. A target shifted into the band is
+		// attained somewhere on the segment by continuity; this decides
+		// "segment has a direct solution" exactly, where the sampled grid
+		// alone could miss a root tangent to a band edge.
+		ux := (seg.Seg.B.X - seg.Seg.A.X) / b
+		uy := (seg.Seg.B.Y - seg.Seg.A.Y) / b
+		relX, relY := in.FF.X-seg.Seg.A.X, in.FF.Y-seg.Seg.A.Y
+		sFF := relX*ux + relY*uy
+		d := math.Abs(relX*(-uy) + relY*ux)
+		cands := []float64{0, b}
+		if sFF > 0 && sFF < b {
+			cands = append(cands, sFF)
+		}
+		if lStar := (rho/p.RWire - p.CFF) / p.CWire; lStar > d {
+			if s := sFF + d - lStar; s > 0 && s < math.Min(b, sFF) {
+				cands = append(cands, s)
+			}
+		}
+		minF, maxF := math.Inf(1), math.Inf(-1)
+		for _, s := range cands {
+			v := delay(s)
+			minF = math.Min(minF, v)
+			maxF = math.Max(maxF, v)
+		}
+		if math.IsNaN(minF) || math.IsInf(minF, 0) || math.IsNaN(maxF) || math.IsInf(maxF, 0) {
+			continue
+		}
+		found := false
+		for k := int(math.Ceil((minF - in.Target) / T)); ; k++ {
+			tau := in.Target + float64(k)*T
+			if tau > maxF+1e-9 {
+				break
+			}
+			found = true // tau lies in the band: a root exists by IVT
+			for i := 0; i < scanSamples; i++ {
+				g0, g1 := f[i]-tau, f[i+1]-tau
+				if g0 == 0 {
+					g0 = 1e-300 // count the left endpoint once, via bisection
+				}
+				if g0*g1 > 0 {
+					continue
+				}
+				lo := b * float64(i) / scanSamples
+				hi := b * float64(i+1) / scanSamples
+				gl := delay(lo) - tau
+				for it := 0; it < 80; it++ {
+					mid := (lo + hi) / 2
+					gm := delay(mid) - tau
+					if (gl <= 0) == (gm <= 0) {
+						lo, gl = mid, gm
+					} else {
+						hi = mid
+					}
+				}
+				q, l := at((lo + hi) / 2)
+				found = true
+				if l < best {
+					best, bestPt = l, q
+				}
+			}
+		}
+		if found {
+			continue
+		}
+		// No direct root on this segment: end-snaking, as in the solver's
+		// Case 4 — tap the segment end and lengthen the wire until the
+		// extra Elmore delay absorbs the remaining phase.
+		endDelay := seg.T0 + rho*b
+		endPt, direct := at(b)
+		kSnake := int(math.Ceil((maxF - in.Target) / T))
+		if in.Target+float64(kSnake)*T < maxF {
+			kSnake++
+		}
+		for tries := 0; tries < 4; tries++ {
+			need := in.Target + float64(kSnake+tries)*T - endDelay
+			l, inv := invertStub(p, need)
+			if inv && l >= direct-1e-9 {
+				if l < best {
+					best, bestPt = l, endPt
+				}
+				break
+			}
+		}
+	}
+	if math.IsInf(best, 1) {
+		return 0, geom.Point{}, false
+	}
+	return best, bestPt, true
+}
+
+// CheckTap differentially tests rotary.SolveTap against the dense scan:
+// the solver must find a tap whenever the scan does, never do worse than
+// the scan's stub length, and its returned tap must forward-evaluate to the
+// target delay from raw geometry. The check is asymmetric — the scan
+// missing a tangent root never indicts the solver.
+func CheckTap(in *TapInstance, seed int64) []Violation {
+	const name = "rotary/tapscan"
+	r := in.Ring.ring(0)
+	T := in.Params.Period
+	scanWire, _, scanOK := scanTap(in)
+	tap, err := rotary.SolveTap(r, in.Params, in.FF, in.Target)
+	if err != nil {
+		if !scanOK {
+			return nil // consistently infeasible
+		}
+		if errors.Is(err, rotary.ErrNoTap) {
+			return violationf(name, seed, "solver reports no tap but the dense scan finds one with stub %.6g um", scanWire)
+		}
+		return violationf(name, seed, "solver failed (%v) but the dense scan finds a tap with stub %.6g um", err, scanWire)
+	}
+
+	var out []Violation
+	// Forward evaluation from raw geometry: the tap point must lie on the
+	// loop, the stub must cover the flip-flop distance, and ring delay at
+	// the point plus the stub's Elmore delay must hit the target mod T.
+	s, _, dist := r.Nearest(tap.Point)
+	if dist > 1e-6 {
+		out = append(out, Violation{Oracle: name, Seed: seed,
+			Detail: fmt.Sprintf("tap point %v is %.3g um off the ring loop", tap.Point, dist)})
+	}
+	if direct := in.FF.Manhattan(tap.Point); tap.WireLen < direct-1e-6 {
+		out = append(out, Violation{Oracle: name, Seed: seed,
+			Detail: fmt.Sprintf("stub %.6g um is shorter than the direct distance %.6g um", tap.WireLen, direct)})
+	}
+	ringDelay := r.DelayAt(s, T)
+	if tap.Complement {
+		ringDelay += T / 2
+	}
+	realized := ringDelay + in.Params.StubDelay(tap.WireLen)
+	if d := modDist(realized, tap.Delay, T); d > 1e-6 {
+		out = append(out, Violation{Oracle: name, Seed: seed,
+			Detail: fmt.Sprintf("reported delay %.9g differs from forward evaluation %.9g by %.3g ps (mod T)", tap.Delay, realized, d)})
+	}
+	if d := modDist(tap.Delay, in.Target, T); d > 1e-6 {
+		out = append(out, Violation{Oracle: name, Seed: seed,
+			Detail: fmt.Sprintf("realized delay %.9g misses target %.9g by %.3g ps (mod T)", tap.Delay, in.Target, d)})
+	}
+	if scanOK && tap.WireLen > scanWire+1e-4*(1+scanWire) {
+		out = append(out, Violation{Oracle: name, Seed: seed,
+			Detail: fmt.Sprintf("solver stub %.9g um is worse than the dense-scan optimum %.9g um", tap.WireLen, scanWire)})
+	}
+	return out
+}

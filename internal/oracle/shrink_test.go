@@ -1,0 +1,106 @@
+package oracle
+
+import (
+	"math/rand"
+	"testing"
+
+	"rotaryclk/internal/geom"
+	"rotaryclk/internal/skew"
+)
+
+func TestShrinkAssign(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	in := genAssign(rng)
+	in.FFs[2].Target = 424242 // the "interesting" flip-flop
+	fails := func(c *AssignInstance) bool {
+		for _, f := range c.FFs {
+			if f.Target == 424242 {
+				return true
+			}
+		}
+		return false
+	}
+	sh := shrinkAssign(in, fails)
+	if !fails(sh) {
+		t.Fatal("shrunk instance no longer fails")
+	}
+	if len(sh.FFs) != 1 || sh.FFs[0].Target != 424242 {
+		t.Errorf("want exactly the marked FF, got %d FFs", len(sh.FFs))
+	}
+	if len(sh.Rings) != 1 {
+		t.Errorf("rings not shrunk: %d", len(sh.Rings))
+	}
+	if len(in.FFs) < 4 {
+		t.Errorf("shrinking mutated the original instance: %d FFs", len(in.FFs))
+	}
+}
+
+func TestShrinkSkew(t *testing.T) {
+	in := &SkewInstance{N: 6, T: 1000, Setup: 30, Hold: 15}
+	for i := 0; i < 5; i++ {
+		in.Pairs = append(in.Pairs, skew.SeqPair{U: i, V: i + 1, DMax: 500, DMin: 100})
+	}
+	in.Pairs[3].DMax = 777 // the pair that matters
+	fails := func(c *SkewInstance) bool {
+		for _, p := range c.Pairs {
+			if p.DMax == 777 {
+				return true
+			}
+		}
+		return false
+	}
+	sh := shrinkSkew(in, fails)
+	if !fails(sh) {
+		t.Fatal("shrunk instance no longer fails")
+	}
+	if len(sh.Pairs) != 1 || sh.Pairs[0].DMax != 777 {
+		t.Errorf("want exactly the marked pair, got %d pairs", len(sh.Pairs))
+	}
+	if sh.N != 2 || sh.Pairs[0].U >= 2 || sh.Pairs[0].V >= 2 {
+		t.Errorf("variables not compacted: N=%d pair=%+v", sh.N, sh.Pairs[0])
+	}
+}
+
+func TestShrinkPlace(t *testing.T) {
+	in := &PlaceInstance{Die: geom.NewRect(geom.Pt(0, 0), geom.Pt(100, 100))}
+	for i := 0; i < 8; i++ {
+		in.Cells = append(in.Cells, PlaceCell{Pos: geom.Pt(float64(i)*10, 50)})
+	}
+	in.Cells[0].Fixed = true
+	in.Nets = [][]int{{0, 1}, {2, 3}, {4, 5, 6}, {6, 7}}
+	in.Pseudo = []PseudoSpec{{Cell: 1, Target: geom.Pt(5, 5), Weight: 2}}
+	// The failure depends only on the net joining the cells at x=20 and x=30.
+	fails := func(c *PlaceInstance) bool {
+		for _, pins := range c.Nets {
+			has20, has30 := false, false
+			for _, id := range pins {
+				if c.Cells[id].Pos.X == 20 {
+					has20 = true
+				}
+				if c.Cells[id].Pos.X == 30 {
+					has30 = true
+				}
+			}
+			if has20 && has30 {
+				return true
+			}
+		}
+		return false
+	}
+	sh := shrinkPlace(in, fails)
+	if !fails(sh) {
+		t.Fatal("shrunk instance no longer fails")
+	}
+	if len(sh.Nets) != 1 {
+		t.Errorf("nets not shrunk: %d", len(sh.Nets))
+	}
+	if len(sh.Pseudo) != 0 {
+		t.Errorf("pseudo nets not shrunk: %d", len(sh.Pseudo))
+	}
+	if len(sh.Cells) != 2 {
+		t.Errorf("unreferenced cells not dropped: %d", len(sh.Cells))
+	}
+	if len(in.Nets) != 4 || len(in.Cells) != 8 {
+		t.Error("shrinking mutated the original instance")
+	}
+}

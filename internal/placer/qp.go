@@ -561,6 +561,35 @@ func (s *System) cg(x, b []float64, tol float64, maxIter, workers int, ws *cgScr
 	return converged
 }
 
+// SolveQP runs one pure quadratic solve of the system — prepare with the
+// options' anchor overlay, a single conjugate-gradients solve per axis, and a
+// write-back — with no spreading, equalization, or legalization rounds. It
+// exposes the exact linear system Global/Incremental iterate over, which is
+// what the differential-testing oracle (internal/oracle) checks against a
+// dense Gaussian-elimination reference; the flow itself always goes through
+// Global/Incremental.
+func (s *System) SolveQP(opt Options) error {
+	if err := validate(s.c); err != nil {
+		return err
+	}
+	opt.normalize(s.nMov)
+	if s.nMov == 0 {
+		return nil
+	}
+	s.obs = obs.Resolve(opt.Obs)
+	workers := par.Workers(opt.Parallelism)
+	ws := wsPool.Get().(*solveWS)
+	defer wsPool.Put(ws)
+	converged, err := s.solveRound(&opt, nil, 0, workers, ws)
+	if err != nil {
+		return err
+	}
+	if !converged {
+		return fmt.Errorf("placer: quadratic solve: %w", ErrNonConverged)
+	}
+	return nil
+}
+
 // writeBack clamps solved positions into the die and stores them on the
 // circuit's movable cells.
 func (s *System) writeBack(c *netlist.Circuit) {

@@ -1,0 +1,74 @@
+package rotary
+
+// Property test: every tap the solver returns must be self-consistent under
+// forward evaluation from raw geometry — the realized delay recomputed from
+// the tap point's ring delay plus the stub's Elmore delay must equal both
+// the reported Tap.Delay and the requested target (modulo the period).
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"rotaryclk/internal/geom"
+)
+
+// modDistT is the circular distance on the period-T delay circle.
+func modDistT(a, b, T float64) float64 {
+	d := math.Mod(a-b, T)
+	if d < 0 {
+		d += T
+	}
+	return math.Min(d, T-d)
+}
+
+func TestSolveTapForwardEvaluation(t *testing.T) {
+	params := DefaultParams()
+	T := params.Period
+	rng := rand.New(rand.NewSource(42))
+	solved := 0
+	for i := 0; i < 1000; i++ {
+		side := 200 + rng.Float64()*400
+		dir := 1
+		if rng.Intn(2) == 1 {
+			dir = -1
+		}
+		r := &Ring{
+			ID:     0,
+			Center: geom.Pt(rng.Float64()*1000, rng.Float64()*1000),
+			Side:   side,
+			Dir:    dir,
+			T0:     rng.Float64() * T,
+		}
+		ff := geom.Pt(r.Center.X+(rng.Float64()-0.5)*3*side, r.Center.Y+(rng.Float64()-0.5)*3*side)
+		target := rng.Float64() * T
+		tap, err := SolveTap(r, params, ff, target)
+		if err != nil {
+			continue // infeasibility is covered by the oracle's dense scan
+		}
+		solved++
+
+		s, _, dist := r.Nearest(tap.Point)
+		if dist > 1e-9 {
+			t.Fatalf("case %d: tap point %v is %.3g um off the loop", i, tap.Point, dist)
+		}
+		if direct := ff.Manhattan(tap.Point); tap.WireLen < direct-1e-9 {
+			t.Fatalf("case %d: stub %.12g shorter than direct distance %.12g", i, tap.WireLen, direct)
+		}
+		ringDelay := r.DelayAt(s, T)
+		if tap.Complement {
+			ringDelay += T / 2
+		}
+		realized := ringDelay + params.StubDelay(tap.WireLen)
+		if d := modDistT(realized, tap.Delay, T); d > 1e-9 {
+			t.Fatalf("case %d: forward-evaluated delay %.12g differs from Tap.Delay %.12g by %.3g ps",
+				i, realized, tap.Delay, d)
+		}
+		if d := modDistT(tap.Delay, target, T); d > 1e-9 {
+			t.Fatalf("case %d: Tap.Delay %.12g misses target %.12g by %.3g ps", i, tap.Delay, target, d)
+		}
+	}
+	if solved < 100 {
+		t.Fatalf("only %d of 1000 random queries solvable; generator or solver regressed", solved)
+	}
+}

@@ -31,6 +31,10 @@ const (
 // as infeasible. Random systems of both shapes (raw difference constraints
 // and Fishburn expansions, self-loops included) are exercised.
 func TestPropertyFeasibleCertificatesVerifyWithinEps(t *testing.T) {
+	// Every property test owns a dedicated rand.Rand seeded at declaration
+	// (never the shared global source), so the tests are deterministic and
+	// safe to run concurrently with each other.
+	t.Parallel()
 	rng := rand.New(rand.NewSource(45))
 	feasible := 0
 	for trial := 0; feasible < 40 && trial < 400; trial++ {
@@ -70,6 +74,7 @@ func TestPropertyFeasibleCertificatesVerifyWithinEps(t *testing.T) {
 // — 0, not the -Inf that used to leak into reports — while a violated
 // self-loop still surfaces positively.
 func TestVerifyEmptyAndSelfLoop(t *testing.T) {
+	t.Parallel() // pure function, no shared state
 	if v := Verify(nil, nil); v != 0 {
 		t.Errorf("Verify of empty set = %v, want 0", v)
 	}
@@ -99,6 +104,7 @@ func pairSlacks(t []float64, pairs []SeqPair) (setup, hold float64) {
 }
 
 func TestPropertyMaxSlackAchievesItsSlack(t *testing.T) {
+	t.Parallel() // owns its rng; see the note in the first property test
 	rng := rand.New(rand.NewSource(42))
 	trials := 0
 	for trials < 30 {
@@ -144,6 +150,7 @@ func randomAnchors(rng *rand.Rand, sched []float64) []Anchor {
 }
 
 func TestPropertyMinDeltaKeepsWorkingSlack(t *testing.T) {
+	t.Parallel() // owns its rng; see the note in the first property test
 	rng := rand.New(rand.NewSource(43))
 	trials := 0
 	for trials < 30 {
@@ -180,6 +187,7 @@ func TestPropertyMinDeltaKeepsWorkingSlack(t *testing.T) {
 }
 
 func TestPropertyWeightedSumKeepsWorkingSlack(t *testing.T) {
+	t.Parallel() // owns its rng; see the note in the first property test
 	rng := rand.New(rand.NewSource(44))
 	trials := 0
 	for trials < 30 {

@@ -16,6 +16,12 @@
 #                         against the recorded BENCH_baseline.json, so the
 #                         build-once reuse perf claim is reproducible in one
 #                         command; the baseline file is NOT rewritten
+#   scripts/ci.sh oracle  run the differential-testing campaign
+#                         (cmd/rotaryoracle): SEEDS random instances through
+#                         every reference solver and metamorphic oracle,
+#                         failing with minimized repros under
+#                         testdata/repros/ on any violation (default 25
+#                         seeds; SEEDS=200 is the acceptance depth)
 #   scripts/ci.sh golden  run only the golden-table regression harness
 #                         (UPDATE=1 re-records the goldens after a reviewed
 #                         table change)
@@ -52,6 +58,11 @@ fuzz)
     fuzztime="${FUZZTIME:-10s}"
     go test ./internal/netlist/ -fuzz '^FuzzParseBench$' -fuzztime "$fuzztime"
     go test ./internal/rotary/ -fuzz '^FuzzSolveTap$' -fuzztime "$fuzztime"
+    go test ./internal/lp/ -fuzz '^FuzzILPRound$' -fuzztime "$fuzztime"
+    ;;
+oracle)
+    seeds="${SEEDS:-25}"
+    go run ./cmd/rotaryoracle -seeds "$seeds" -v
     ;;
 bench)
     benchtime="${BENCHTIME:-1x}"
@@ -155,7 +166,7 @@ cover)
     fi
     ;;
 *)
-    echo "usage: scripts/ci.sh {test|race|fuzz|bench|benchcmp|golden|cover}" >&2
+    echo "usage: scripts/ci.sh {test|race|fuzz|bench|benchcmp|oracle|golden|cover}" >&2
     exit 2
     ;;
 esac
