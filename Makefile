@@ -4,7 +4,7 @@
 
 SEEDS ?= 25
 
-.PHONY: test race fuzz bench benchcmp oracle golden cover ci
+.PHONY: test race fuzz bench benchcmp scaling scaling-smoke oracle golden cover ci
 
 test:
 	sh scripts/ci.sh test
@@ -20,6 +20,14 @@ bench:
 
 benchcmp:
 	sh scripts/ci.sh benchcmp
+
+# Full geometric size sweep (1k..512k cells) -> BENCH_scaling.json.
+scaling:
+	go run ./cmd/rotaryscale -out BENCH_scaling.json
+
+# Race-enabled 50k-cell smoke (the CI gate; minutes, not the full sweep).
+scaling-smoke:
+	sh scripts/ci.sh scaling
 
 oracle:
 	SEEDS=$(SEEDS) sh scripts/ci.sh oracle

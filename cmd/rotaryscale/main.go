@@ -1,0 +1,62 @@
+// Command rotaryscale runs the solver-core size sweep: synthetic circuits at
+// geometric cell counts through generate -> quadratic-system build -> global
+// place -> min-max-capacitance assignment, recording ns/cell and allocs/cell
+// per stage to a JSON report (BENCH_scaling.json by convention; rendered by
+// `scripts/ci.sh benchcmp`).
+//
+// Usage:
+//
+//	rotaryscale [-sizes 1024,4096,...] [-out BENCH_scaling.json] [-seed 1]
+//	            [-spread 8] [-p 0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"rotaryclk/internal/bench"
+)
+
+func main() {
+	var (
+		sizes  = flag.String("sizes", "", "comma-separated cell counts (default geometric 1k..512k)")
+		out    = flag.String("out", "BENCH_scaling.json", "output JSON path")
+		seed   = flag.Int64("seed", 1, "generator seed")
+		spread = flag.Int("spread", 8, "global-placement spreading rounds per point")
+		par    = flag.Int("p", 0, "parallelism (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	opt := bench.ScalingOptions{
+		Seed:        *seed,
+		SpreadIters: *spread,
+		Parallelism: *par,
+		Log: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	}
+	if *sizes != "" {
+		for _, f := range strings.Split(*sizes, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n <= 0 {
+				fmt.Fprintf(os.Stderr, "rotaryscale: bad size %q\n", f)
+				os.Exit(2)
+			}
+			opt.Sizes = append(opt.Sizes, n)
+		}
+	}
+
+	rep, err := bench.RunScaling(opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rotaryscale:", err)
+		os.Exit(1)
+	}
+	if err := rep.WriteJSON(*out); err != nil {
+		fmt.Fprintln(os.Stderr, "rotaryscale:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d points)\n", *out, len(rep.Points))
+}

@@ -16,7 +16,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 
 	"rotaryclk/internal/faultinject"
 	"rotaryclk/internal/geom"
@@ -32,6 +31,20 @@ import (
 // cannot host every flip-flop. Callers match it with errors.Is to drive
 // recovery (widen K, relax capacity, enable TapFallback).
 var ErrInfeasible = errors.New("assign: infeasible")
+
+// LPPath selects the solver behind MinMaxCap's LP relaxation.
+type LPPath int
+
+const (
+	// LPSparse (the default) solves the relaxation with the specialized
+	// bipartite-basis simplex (lp.SolveAssignLP), whose per-pivot cost is an
+	// rings×rings working inverse instead of the dense (FFs+rings)² tableau.
+	LPSparse LPPath = iota
+	// LPDense routes through the generic dense two-phase simplex, kept as
+	// the differential-oracle reference path (internal/oracle cross-checks
+	// the two optima to 1e-9 on random instances).
+	LPDense
+)
 
 // FF is one flip-flop to assign: its cell ID, placed location, and the clock
 // delay target produced by skew optimization.
@@ -49,6 +62,9 @@ type Problem struct {
 	// pruning, as in the paper's flow network: far-away rings get no arc).
 	// Default 6.
 	K int
+	// LP selects MinMaxCap's relaxation solver: LPSparse (default, the
+	// bipartite-basis simplex) or LPDense (the generic simplex reference).
+	LP LPPath
 	// Capacity is the per-ring flip-flop limit U_j for MinCost. Empty means
 	// a uniform default of ceil(1.25 * len(FFs) / numRings).
 	Capacity []int
@@ -188,43 +204,58 @@ func (p *Problem) candidates() ([][]candidate, error) {
 	out := make([][]candidate, len(p.FFs))
 	errs := make([]error, len(p.FFs))
 	params := p.Array.Params
+	// One arena holds every candidate row at a fixed stride of K (normalize
+	// clamps K to the ring count), so the hot loop never grows a slice:
+	// each worker fills only its own K-capacity window and publishes a
+	// capacity-clipped prefix of it.
+	arena := make([]candidate, len(p.FFs)*p.K)
 	par.For(p.Parallelism, len(p.FFs), func(i int) {
 		ff := p.FFs[i]
 		rings := p.Array.NearestRings(ff.Pos, p.K)
-		var all []candidate
+		row := arena[i*p.K : i*p.K : (i+1)*p.K]
 		for _, j := range rings {
 			tap, ok := p.solveTap(j, ff.Pos, ff.Target)
 			if !ok {
 				continue
 			}
-			all = append(all, candidate{
+			c := candidate{
 				ring: j,
 				tap:  tap,
 				cost: tap.WireLen,
 				cap:  params.StubCap(tap.WireLen),
-			})
+			}
+			// Stable insertion keeps the row sorted by cost with ties in
+			// NearestRings order, matching a stable sort of the appended row.
+			pos := len(row)
+			row = row[:pos+1]
+			for pos > 0 && row[pos-1].cost > c.cost {
+				row[pos] = row[pos-1]
+				pos--
+			}
+			row[pos] = c
 		}
-		if len(all) == 0 && p.TapFallback && len(rings) > 0 {
+		if len(row) == 0 && p.TapFallback && len(rings) > 0 {
 			if c, ok := p.fallbackCandidate(rings[0], ff.Pos); ok {
-				all = append(all, c)
+				row = append(row, c)
 			}
 		}
-		if len(all) == 0 {
+		if len(row) == 0 {
 			errs[i] = fmt.Errorf("assign: flip-flop %d (cell %d) has no feasible ring: %w", i, p.FFs[i].Cell, ErrInfeasible)
 			return
 		}
-		sort.SliceStable(all, func(a, b int) bool { return all[a].cost < all[b].cost })
 		// Stubs beyond MaxStub defeat rotary clocking's variability
 		// advantage (Section III); prune them from the arc set, but keep the
 		// three cheapest arcs regardless so capacitated assignment stays
 		// feasible on dense clusters.
 		const minArcs = 3
-		for k, c := range all {
-			if k >= minArcs && p.MaxStub > 0 && c.cost > p.MaxStub {
-				break // sorted: everything after also exceeds the limit
+		cut := len(row)
+		for k := minArcs; k < len(row); k++ {
+			if p.MaxStub > 0 && row[k].cost > p.MaxStub {
+				cut = k // sorted: everything after also exceeds the limit
+				break
 			}
-			out[i] = append(out[i], c)
 		}
+		out[i] = row[:cut:cut]
 	})
 	for _, err := range errs {
 		if err != nil {
@@ -358,36 +389,92 @@ func MinMaxCap(p *Problem) (*Assignment, *Relax, error) {
 		return nil, nil, err
 	}
 	p.obsReg.Add("assign.minmaxcap.calls", 1)
-	prob, vars, z := buildMinMaxLP(p, cands, false)
-	sol, err := prob.SolveOpts(lp.Options{Obs: p.obsReg})
-	if err != nil {
-		return nil, nil, err
-	}
-	if sol.Status != lp.Optimal {
-		if sol.BudgetExceeded() {
-			return nil, nil, fmt.Errorf("assign: LP relaxation %v: %w", sol.Status, lp.ErrBudget)
+	var (
+		x     [][]float64
+		lpOpt float64
+		iters int
+	)
+	if p.LP == LPDense {
+		p.obsReg.Add("assign.lp.path.dense", 1)
+		prob, vars, z := buildMinMaxLP(p, cands, false)
+		sol, err := prob.SolveOpts(lp.Options{Obs: p.obsReg})
+		if err != nil {
+			return nil, nil, err
 		}
-		return nil, nil, fmt.Errorf("assign: LP relaxation %v", sol.Status)
+		if sol.Status != lp.Optimal {
+			if sol.BudgetExceeded() {
+				return nil, nil, fmt.Errorf("assign: LP relaxation %v: %w", sol.Status, lp.ErrBudget)
+			}
+			return nil, nil, fmt.Errorf("assign: LP relaxation %v", sol.Status)
+		}
+		x = perFFValues(cands, vars, sol.X)
+		lpOpt, iters = sol.X[z], sol.Iters
+	} else {
+		p.obsReg.Add("assign.lp.path.sparse", 1)
+		res, err := lp.SolveAssignLP(sparseArcs(cands), len(p.Array.Rings), lp.Options{Obs: p.obsReg})
+		if err != nil {
+			return nil, nil, err
+		}
+		if res.Status != lp.Optimal {
+			if res.Status == lp.IterLimit {
+				return nil, nil, fmt.Errorf("assign: LP relaxation %v: %w", res.Status, lp.ErrBudget)
+			}
+			return nil, nil, fmt.Errorf("assign: LP relaxation %v", res.Status)
+		}
+		x, lpOpt, iters = res.X, res.Z, res.Pivots
 	}
-	choice := greedyRound(cands, vars, sol.X)
+	choice := greedyRound(cands, x)
 	a := p.finish(choice)
-	rel := &Relax{LPOpt: sol.X[z], Solution: a.MaxCap, LPIters: sol.Iters}
+	rel := &Relax{LPOpt: lpOpt, Solution: a.MaxCap, LPIters: iters}
 	if rel.LPOpt > 0 {
 		rel.IG = rel.Solution / rel.LPOpt
 	}
 	return a, rel, nil
 }
 
+// sparseArcs converts the candidate matrix into the flat arc lists of
+// lp.SolveAssignLP: ring index and load capacitance, no variable naming, no
+// dense rows. One backing array serves every row.
+func sparseArcs(cands [][]candidate) [][]lp.AssignArc {
+	total := 0
+	for _, cs := range cands {
+		total += len(cs)
+	}
+	arcs := make([][]lp.AssignArc, len(cands))
+	flat := make([]lp.AssignArc, 0, total)
+	for i, cs := range cands {
+		start := len(flat)
+		for _, c := range cs {
+			flat = append(flat, lp.AssignArc{Bin: c.ring, Load: c.cap})
+		}
+		arcs[i] = flat[start:len(flat):len(flat)]
+	}
+	return arcs
+}
+
+// perFFValues reshapes a dense solution vector into per-FF fraction rows
+// aligned with the candidate matrix.
+func perFFValues(cands [][]candidate, vars [][]int, x []float64) [][]float64 {
+	out := make([][]float64, len(cands))
+	for i := range cands {
+		row := make([]float64, len(cands[i]))
+		for k := range row {
+			row[k] = x[vars[i][k]]
+		}
+		out[i] = row
+	}
+	return out
+}
+
 // greedyRound is the paper's Fig. 5: keep integral assignments, otherwise
 // pick the ring with the largest fractional value (first such ring on ties,
 // matching the deterministic scan of the pseudo-code).
-func greedyRound(cands [][]candidate, vars [][]int, x []float64) []candidate {
+func greedyRound(cands [][]candidate, x [][]float64) []candidate {
 	choice := make([]candidate, len(cands))
 	for i, cs := range cands {
 		best, bestV := 0, -1.0
 		for k := range cs {
-			v := x[vars[i][k]]
-			if v > bestV+1e-12 {
+			if v := x[i][k]; v > bestV+1e-12 {
 				best, bestV = k, v
 			}
 		}
@@ -453,7 +540,7 @@ func MinMaxCapILP(p *Problem, opts lp.ILPOptions) (*Assignment, lp.ILPSolution, 
 	if sol.X == nil {
 		return nil, sol, nil
 	}
-	choice := greedyRound(cands, vars, sol.X) // integral X: picks the 1s
+	choice := greedyRound(cands, perFFValues(cands, vars, sol.X)) // integral X: picks the 1s
 	return p.finish(choice), sol, nil
 }
 

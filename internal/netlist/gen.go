@@ -1,12 +1,32 @@
 package netlist
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
+	"strconv"
 
 	"rotaryclk/internal/geom"
 )
+
+// MaxGenCells is the generator's size ceiling. The streaming construction
+// costs roughly one kilobyte of transient memory per cell (flat arc lists,
+// pin blocks, level buckets), so 4M cells tops out around 4 GB — beyond it,
+// Generate refuses with ErrSpecTooLarge instead of thrashing.
+const MaxGenCells = 4 << 20
+
+// ErrSpecTooLarge marks GenSpecs whose cell or pad counts exceed
+// MaxGenCells; callers match it with errors.Is.
+var ErrSpecTooLarge = errors.New("netlist: spec exceeds generator size ceiling")
+
+// maxAutoModules caps the defaulted module count. The cells/40 heuristic is
+// tuned for ISCAS-class circuits; past ~330k cells it would splinter the
+// design into tens of thousands of clusters smaller than a placement bin
+// (and level-0 source pools thinner than the module count), so the
+// automatic default saturates here. An explicit GenSpec.Modules is honored
+// as given.
+const maxAutoModules = 8192
 
 // GenSpec parameterizes the synthetic sequential-circuit generator. The
 // generator reproduces the statistical profile of the ISCAS89 circuits used
@@ -16,14 +36,15 @@ import (
 // without requiring the original benchmark files.
 type GenSpec struct {
 	Name      string
-	Cells     int // logic gates + flip-flops (Table II "#Cells")
+	Cells     int // logic gates + flip-flops (Table II "#Cells"); at most MaxGenCells
 	FlipFlops int
 	Inputs    int // primary inputs; default max(8, FlipFlops/8)
 	Outputs   int // primary outputs; default max(8, FlipFlops/8)
 	MaxDepth  int // max combinational levels between flip-flops; default 8
 	// Modules is the number of locality clusters. Real synthesized circuits
 	// are modular: most fanin comes from the same functional block, which
-	// is what lets a placer find short nets. Default cells/64 (min 1).
+	// is what lets a placer find short nets. Default cells/40 (min 1),
+	// saturating at maxAutoModules for million-cell circuits.
 	Modules int
 	// Locality is the probability a gate picks its fanin inside its own
 	// module (default 0.9); cross-module fanin prefers neighboring modules,
@@ -50,6 +71,10 @@ func (s *GenSpec) applyDefaults() error {
 	if s.Outputs <= 0 {
 		s.Outputs = max(8, s.FlipFlops/8)
 	}
+	if s.Cells > MaxGenCells || s.Inputs > MaxGenCells || s.Outputs > MaxGenCells {
+		return fmt.Errorf("%w: %d cells, %d inputs, %d outputs (limit %d)",
+			ErrSpecTooLarge, s.Cells, s.Inputs, s.Outputs, MaxGenCells)
+	}
 	if s.MaxDepth <= 0 {
 		s.MaxDepth = 8
 	}
@@ -58,6 +83,9 @@ func (s *GenSpec) applyDefaults() error {
 	}
 	if s.Modules <= 0 {
 		s.Modules = max(1, s.Cells/40)
+		if s.Modules > maxAutoModules {
+			s.Modules = maxAutoModules
+		}
 	}
 	if s.Locality <= 0 || s.Locality > 1 {
 		s.Locality = 0.9
@@ -75,6 +103,13 @@ func (s *GenSpec) applyDefaults() error {
 // deterministic for a given spec (including Seed). Cells are sized uniformly
 // to hit spec.Util row utilization; pads are fixed on the die boundary and
 // movable cells are scattered uniformly as a starting point for placement.
+//
+// The construction streams: every bulk structure is a flat slice sized up
+// front (cell arena, level-bucket CSR, edge list, pin blocks), so building a
+// million-cell circuit performs no per-cell map inserts and no quadratic
+// intermediates. The rng stream is consumed in exactly the order of the
+// original append-based construction — TestGenerateFingerprint pins the
+// output byte for byte — so recorded experiments survive the rewrite.
 func Generate(spec GenSpec) (*Circuit, error) {
 	if err := spec.applyDefaults(); err != nil {
 		return nil, err
@@ -87,45 +122,98 @@ func Generate(spec GenSpec) (*Circuit, error) {
 
 	// Cell creation order doubles as a topological order for gates: gate i
 	// may consume only signals produced by pads, flip-flops, or gates with
-	// smaller ID. Flip-flop Q outputs are level-0 sources like pads.
+	// smaller ID. Flip-flop Q outputs are level-0 sources like pads. All
+	// regular cells live in one arena; only late-minted dangling-net pads
+	// allocate individually.
+	nBase := spec.Inputs + spec.FlipFlops + gates + spec.Outputs
+	cellArena := make([]Cell, nBase)
+	c.Cells = make([]*Cell, 0, nBase+8)
+	nextCell := 0
+	newCell := func(name string, kind Kind, fn Func, fixed bool) {
+		cell := &cellArena[nextCell]
+		nextCell++
+		cell.Name, cell.Kind, cell.Fn, cell.Fixed = name, kind, fn, fixed
+		c.AddCell(cell)
+	}
 	for i := 0; i < spec.Inputs; i++ {
-		c.AddCell(&Cell{Name: fmt.Sprintf("pi%d", i), Kind: Input, Fixed: true})
+		newCell("pi"+strconv.Itoa(i), Input, FuncNone, true)
 	}
 	for i := 0; i < spec.FlipFlops; i++ {
-		c.AddCell(&Cell{Name: fmt.Sprintf("ff%d", i), Kind: FF, Fn: FuncDFF})
+		newCell("ff"+strconv.Itoa(i), FF, FuncDFF, false)
 	}
 	gateFns := []Func{FuncNand, FuncNand, FuncNor, FuncAnd, FuncOr, FuncNot, FuncXor, FuncBuf}
 	firstGate := len(c.Cells)
 	for i := 0; i < gates; i++ {
 		fn := gateFns[rng.Intn(len(gateFns))]
-		c.AddCell(&Cell{Name: fmt.Sprintf("g%d", i), Kind: Gate, Fn: fn})
+		newCell("g"+strconv.Itoa(i), Gate, fn, false)
 	}
 	for i := 0; i < spec.Outputs; i++ {
-		c.AddCell(&Cell{Name: fmt.Sprintf("po%d", i), Kind: Output, Fixed: true})
+		newCell("po"+strconv.Itoa(i), Output, FuncNone, true)
 	}
 
 	// Locality structure: cells belong to modules; most fanin stays inside
-	// the module. sources[m][k] lists cell IDs of module m whose outputs are
-	// available at level k (level 0: pads + FF outputs).
+	// the module. Bucket (m, l) lists cell IDs of module m whose outputs are
+	// available at level l (level 0: pads + FF outputs). Both the module and
+	// level of every cell are rng-free, so all bucket sizes are known before
+	// the fanin loop runs: the buckets are one CSR array filled in the same
+	// order the old code appended, growing a visible prefix per bucket.
 	nMod := spec.Modules
-	level := make([]int, len(c.Cells))
-	module := make([]int, len(c.Cells))
-	sources := make([][][]int, nMod)
-	for m := range sources {
-		sources[m] = make([][]int, spec.MaxDepth+1)
-	}
-	// Distribute level-0 sources (PIs and FFs) round-robin over modules.
-	l0 := 0
-	for id := 0; id < firstGate; id++ {
-		if c.Cells[id].Kind == Input || c.Cells[id].Kind == FF {
-			m := l0 % nMod
-			module[id] = m
-			sources[m][0] = append(sources[m][0], id)
-			l0++
+	depth1 := spec.MaxDepth + 1
+	firstPad := firstGate + gates
+	level := make([]int32, firstPad)
+	module := make([]int32, firstPad)
+	gateMod := func(i int) int {
+		// Contiguous gate ranges form modules; levels cycle within each
+		// module so every module spans the full logic depth.
+		m := i * nMod / max(1, gates)
+		if m >= nMod {
+			m = nMod - 1
 		}
+		return m
 	}
-	// Consumers per producing cell; filled as gates pick fanins.
-	consumers := make(map[int][]int, len(c.Cells))
+	gateLvl := func(i int) int { return 1 + (i*31)%spec.MaxDepth }
+	bsize := make([]int32, nMod*depth1)
+	for id := 0; id < firstGate; id++ {
+		// Level-0 sources (PIs and FFs) distribute round-robin over modules.
+		module[id] = int32(id % nMod)
+		bsize[(id%nMod)*depth1]++
+	}
+	for i := 0; i < gates; i++ {
+		bsize[gateMod(i)*depth1+gateLvl(i)]++
+	}
+	bstart := make([]int32, nMod*depth1+1)
+	for b, sz := range bsize {
+		bstart[b+1] = bstart[b] + sz
+	}
+	bfill := bsize // reuse as fill counters
+	for b := range bfill {
+		bfill[b] = 0
+	}
+	flatSrc := make([]int32, firstPad)
+	bucket := func(m, l int) []int32 {
+		b := m*depth1 + l
+		return flatSrc[bstart[b] : bstart[b]+bfill[b]]
+	}
+	push := func(m, l, id int) {
+		b := m*depth1 + l
+		flatSrc[bstart[b]+bfill[b]] = int32(id)
+		bfill[b]++
+	}
+	for id := 0; id < firstGate; id++ {
+		push(id%nMod, 0, id)
+	}
+
+	// Fanin edges (producer, consumer) accumulate in one flat list in
+	// discovery order; outDeg doubles as the dangling-output check and later
+	// sizes the per-producer pin blocks.
+	eSrc := make([]int32, 0, 4*gates+spec.FlipFlops+spec.Outputs+8)
+	eSnk := make([]int32, 0, cap(eSrc))
+	outDeg := make([]int32, firstPad)
+	addEdge := func(src, snk int) {
+		eSrc = append(eSrc, int32(src))
+		eSnk = append(eSnk, int32(snk))
+		outDeg[src]++
+	}
 
 	pickLevel := func(lvl int) int {
 		switch r := rng.Float64(); {
@@ -150,23 +238,23 @@ func Generate(spec GenSpec) (*Circuit, error) {
 					m = rng.Intn(nMod)
 				}
 			}
-			cand := sources[m][l]
+			cand := bucket(m, l)
 			if len(cand) == 0 {
-				cand = sources[m][0]
+				cand = bucket(m, 0)
 			}
 			if len(cand) == 0 {
-				cand = sources[mod][0]
+				cand = bucket(mod, 0)
 			}
 			if len(cand) == 0 {
 				// Some module with level-0 sources always exists.
 				for mm := 0; mm < nMod; mm++ {
-					if len(sources[mm][0]) > 0 {
-						cand = sources[mm][0]
+					if b := bucket(mm, 0); len(b) > 0 {
+						cand = b
 						break
 					}
 				}
 			}
-			id := cand[rng.Intn(len(cand))]
+			id := int(cand[rng.Intn(len(cand))])
 			if id != gid || tries > 4 {
 				return id
 			}
@@ -175,16 +263,10 @@ func Generate(spec GenSpec) (*Circuit, error) {
 
 	for i := 0; i < gates; i++ {
 		gid := firstGate + i
-		// Contiguous gate ranges form modules; levels cycle within each
-		// module so every module spans the full logic depth.
-		mod := i * nMod / max(1, gates)
-		if mod >= nMod {
-			mod = nMod - 1
-		}
-		lvl := 1 + (i*31)%spec.MaxDepth // cycle through levels deterministically
-		module[gid] = mod
-		level[gid] = lvl
-		sources[mod][lvl] = append(sources[mod][lvl], gid)
+		mod, lvl := gateMod(i), gateLvl(i)
+		module[gid] = int32(mod)
+		level[gid] = int32(lvl)
+		push(mod, lvl, gid)
 		nin := 2
 		switch r := rng.Float64(); {
 		case c.Cells[gid].Fn == FuncNot || c.Cells[gid].Fn == FuncBuf:
@@ -194,14 +276,25 @@ func Generate(spec GenSpec) (*Circuit, error) {
 		case r < 0.20:
 			nin = 4
 		}
-		seen := map[int]bool{}
+		// nin <= 4, so duplicate suppression is a linear scan of a fixed
+		// array instead of a per-gate map.
+		var seen [4]int32
+		nSeen := 0
 		for k := 0; k < nin; k++ {
 			src := pickFanin(gid, lvl, mod)
-			if seen[src] {
+			dup := false
+			for t := 0; t < nSeen; t++ {
+				if seen[t] == int32(src) {
+					dup = true
+					break
+				}
+			}
+			if dup {
 				continue
 			}
-			seen[src] = true
-			consumers[src] = append(consumers[src], gid)
+			seen[nSeen] = int32(src)
+			nSeen++
+			addEdge(src, gid)
 		}
 	}
 
@@ -210,8 +303,10 @@ func Generate(spec GenSpec) (*Circuit, error) {
 	// paths exercise the full logic depth.
 	gateAtOrAbove := func(mod, minLvl int) int {
 		for l := spec.MaxDepth; l >= minLvl; l-- {
-			if l > 0 && len(sources[mod][l]) > 0 {
-				return sources[mod][l][rng.Intn(len(sources[mod][l]))]
+			if l > 0 {
+				if cand := bucket(mod, l); len(cand) > 0 {
+					return int(cand[rng.Intn(len(cand))])
+				}
 			}
 		}
 		return -1
@@ -227,8 +322,8 @@ func Generate(spec GenSpec) (*Circuit, error) {
 	}
 	anyL0 := func() int {
 		for m := 0; m < nMod; m++ {
-			if len(sources[m][0]) > 0 {
-				return sources[m][0][rng.Intn(len(sources[m][0]))]
+			if b := bucket(m, 0); len(b) > 0 {
+				return int(b[rng.Intn(len(b))])
 			}
 		}
 		return -1
@@ -237,26 +332,25 @@ func Generate(spec GenSpec) (*Circuit, error) {
 		if c.Cells[id].Kind != FF {
 			continue
 		}
-		src := gateAtOrAbove(module[id], max(1, spec.MaxDepth/2))
+		src := gateAtOrAbove(int(module[id]), max(1, spec.MaxDepth/2))
 		if src < 0 {
 			src = anyGateAtOrAbove(max(1, spec.MaxDepth/2))
 		}
 		if src < 0 {
 			src = anyL0()
 			if src == id { // tiny circuits: avoid self-loop through D
-				src = sources[module[id]][0][0]
+				src = int(bucket(int(module[id]), 0)[0])
 			}
 		}
-		consumers[src] = append(consumers[src], id)
+		addEdge(src, id)
 	}
 
 	// Output pads consume random gate outputs. Extra pads are minted for
 	// dangling nets below so every pad observes exactly one signal (the
 	// .bench format's OUTPUT() declarations are one signal each).
-	firstPad := firstGate + gates
 	extraPads := 0
 	newOutPad := func() int {
-		cell := c.AddCell(&Cell{Name: fmt.Sprintf("pox%d", extraPads), Kind: Output, Fixed: true})
+		cell := c.AddCell(&Cell{Name: "pox" + strconv.Itoa(extraPads), Kind: Output, Fixed: true})
 		extraPads++
 		return cell.ID
 	}
@@ -265,13 +359,13 @@ func Generate(spec GenSpec) (*Circuit, error) {
 		if src < 0 {
 			src = anyL0()
 		}
-		consumers[src] = append(consumers[src], firstPad+i)
+		addEdge(src, firstPad+i)
 	}
 
 	// Dangling gate outputs get attached to a later gate, or to an output
 	// pad as a last resort, so every net has at least one sink.
 	for gid := firstGate; gid < firstGate+gates; gid++ {
-		if len(consumers[gid]) > 0 {
+		if outDeg[gid] > 0 {
 			continue
 		}
 		attached := false
@@ -281,30 +375,64 @@ func Generate(spec GenSpec) (*Circuit, error) {
 			// Strictly deeper level keeps the worst-case logic depth at
 			// MaxDepth (same-level chains would exceed it).
 			if level[j] > level[gid] {
-				consumers[gid] = append(consumers[gid], j)
+				addEdge(gid, j)
 				attached = true
 				break
 			}
 		}
 		if !attached {
-			consumers[gid] = append(consumers[gid], newOutPad())
+			addEdge(gid, newOutPad())
 		}
 	}
 
-	// Materialize nets in producer-ID order (deterministic).
+	// Materialize nets in producer-ID order (deterministic). A stable
+	// counting sort of the edge list by producer lands every net's pins
+	// [driver, sinks...] contiguously in one backing array — AddNet retains
+	// the slice, so each net costs no pin copy. Per-producer sink order is
+	// the edge discovery order, exactly as the old per-cell appends left it.
+	blockStart := make([]int32, firstPad+1)
+	for id := 0; id < firstPad; id++ {
+		blockStart[id+1] = blockStart[id] + 1 + outDeg[id]
+	}
+	pinsFlat := make([]int, int(blockStart[firstPad]))
+	fillPos := make([]int32, firstPad)
+	for id := 0; id < firstPad; id++ {
+		pinsFlat[blockStart[id]] = id
+		fillPos[id] = blockStart[id] + 1
+	}
+	for e := range eSrc {
+		s := eSrc[e]
+		pinsFlat[fillPos[s]] = int(eSnk[e])
+		fillPos[s]++
+	}
+	// Pre-carve every cell's fanin list from one arena; AddNet's appends
+	// then fill capacity in place.
+	inDeg := make([]int32, len(c.Cells))
+	for _, snk := range eSnk {
+		inDeg[snk]++
+	}
+	faninFlat := make([]int, len(eSnk))
+	off := 0
+	for id, cell := range c.Cells {
+		if d := int(inDeg[id]); d > 0 {
+			cell.Fanin = faninFlat[off : off : off+d]
+			off += d
+		}
+	}
+	c.Nets = make([]*Net, 0, firstPad)
 	for id := 0; id < firstPad; id++ {
 		cell := c.Cells[id]
 		if cell.Kind == Output {
 			continue
 		}
-		sinks := consumers[id]
-		if len(sinks) == 0 && (cell.Kind == Input || cell.Kind == FF) {
+		start, end := int(blockStart[id]), int(fillPos[id])
+		if end-start == 1 && (cell.Kind == Input || cell.Kind == FF) {
 			// Unused PI or flip-flop output: give it a token pad load so it
 			// is a legal net.
-			sinks = []int{newOutPad()}
+			c.AddNet(cell.Name+"_n", id, newOutPad())
+			continue
 		}
-		pins := append([]int{id}, sinks...)
-		c.AddNet(cell.Name+"_n", pins...)
+		c.AddNet(cell.Name+"_n", pinsFlat[start:end:end]...)
 	}
 
 	sizeAndScatter(c, spec.Util, rng)

@@ -1,0 +1,93 @@
+package netlist
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestGenerateTooLarge covers the generator's size ceiling: specs past
+// MaxGenCells return the typed ErrSpecTooLarge so callers can distinguish
+// "you asked for too much memory" from malformed specs.
+func TestGenerateTooLarge(t *testing.T) {
+	for _, spec := range []GenSpec{
+		{Name: "huge-cells", Cells: MaxGenCells + 1, FlipFlops: 10},
+		{Name: "huge-inputs", Cells: 100, FlipFlops: 10, Inputs: MaxGenCells + 1},
+		{Name: "huge-outputs", Cells: 100, FlipFlops: 10, Outputs: MaxGenCells + 1},
+	} {
+		if _, err := Generate(spec); !errors.Is(err, ErrSpecTooLarge) {
+			t.Errorf("%s: err = %v, want ErrSpecTooLarge", spec.Name, err)
+		}
+	}
+	// At the ceiling itself the spec must validate (we don't build it here;
+	// applyDefaults is the gate under test).
+	ok := GenSpec{Name: "at-limit", Cells: MaxGenCells, FlipFlops: 10}
+	if err := ok.applyDefaults(); err != nil {
+		t.Errorf("at-limit: applyDefaults = %v, want nil", err)
+	}
+}
+
+// TestGenerateModuleDefaultClamp checks the auto module heuristic: cells/40
+// for ordinary sizes, saturating at maxAutoModules so million-cell circuits
+// don't degenerate into tens of thousands of two-cell modules.
+func TestGenerateModuleDefaultClamp(t *testing.T) {
+	cases := []struct {
+		cells, want int
+	}{
+		{40, 1},
+		{4000, 100},
+		{40 * maxAutoModules, maxAutoModules},
+		{2 << 20, maxAutoModules},
+	}
+	for _, tc := range cases {
+		spec := GenSpec{Name: "clamp", Cells: tc.cells, FlipFlops: 1}
+		if err := spec.applyDefaults(); err != nil {
+			t.Fatalf("cells=%d: %v", tc.cells, err)
+		}
+		if spec.Modules != tc.want {
+			t.Errorf("cells=%d: Modules = %d, want %d", tc.cells, spec.Modules, tc.want)
+		}
+	}
+	// Explicit Modules is never overridden.
+	spec := GenSpec{Name: "explicit", Cells: 2 << 20, FlipFlops: 1, Modules: 17}
+	if err := spec.applyDefaults(); err != nil {
+		t.Fatal(err)
+	}
+	if spec.Modules != 17 {
+		t.Errorf("explicit Modules = %d, want 17", spec.Modules)
+	}
+}
+
+// TestGenerateLarge is the streaming-construction smoke: a 200k-cell circuit
+// must generate and validate. (The full million-cell path is exercised by
+// BenchmarkGenerate1M and the size-sweep harness; this keeps `go test` fast.)
+func TestGenerateLarge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large generation in -short mode")
+	}
+	c, err := Generate(GenSpec{Name: "large200k", Cells: 200_000, FlipFlops: 20_000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c.Cells); got < 200_000 {
+		t.Fatalf("got %d cells, want >= 200000", got)
+	}
+}
+
+// BenchmarkGenerate1M times streaming construction of a million-cell
+// circuit end to end (the tentpole scale target).
+func BenchmarkGenerate1M(b *testing.B) {
+	spec := GenSpec{Name: "bench1m", Cells: 1 << 20, FlipFlops: 1 << 17, Seed: 5}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c, err := Generate(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(c.Nets) == 0 {
+			b.Fatal("no nets")
+		}
+	}
+}

@@ -88,6 +88,40 @@ func genAssign(rng *rand.Rand) *AssignInstance {
 	return in
 }
 
+// genAssignLarge draws a large sparse assignment instance — 9-16 rings,
+// 40-120 flip-flops — beyond the brute-force checks' reach but exactly the
+// shape CheckAssignLP's sparse-vs-dense LP comparison scales to.
+func genAssignLarge(rng *rand.Rand) *AssignInstance {
+	params := rotary.DefaultParams()
+	nRings := 9 + rng.Intn(8)
+	nFF := 40 + rng.Intn(81)
+	in := &AssignInstance{Params: params, K: 4 + rng.Intn(3)}
+	nx := int(math.Ceil(math.Sqrt(float64(nRings))))
+	const tile = 700.0
+	for j := 0; j < nRings; j++ {
+		cx := float64(j%nx)*tile + tile/2 + (rng.Float64()-0.5)*100
+		cy := float64(j/nx)*tile + tile/2 + (rng.Float64()-0.5)*100
+		dir := 1
+		if rng.Intn(2) == 1 {
+			dir = -1
+		}
+		in.Rings = append(in.Rings, RingSpec{
+			Center: geom.Pt(cx, cy),
+			Side:   300 + rng.Float64()*250,
+			Dir:    dir,
+			T0:     rng.Float64() * params.Period,
+		})
+	}
+	span := float64(nx) * tile
+	for i := 0; i < nFF; i++ {
+		in.FFs = append(in.FFs, FFSpec{
+			Pos:    geom.Pt(rng.Float64()*span, rng.Float64()*span),
+			Target: rng.Float64() * params.Period,
+		})
+	}
+	return in
+}
+
 // genTap draws one random tapping query against a single random ring.
 func genTap(rng *rand.Rand) *TapInstance {
 	params := rotary.DefaultParams()
@@ -283,6 +317,19 @@ func RunCampaign(o Options) (*Report, error) {
 		if vs := check(CheckTighten(ai, seed)); len(vs) > 0 {
 			sh := shrinkAssign(ai, func(c *AssignInstance) bool { return len(CheckTighten(c, seed)) > 0 })
 			record(vs, &Repro{Assign: sh})
+		}
+		if vs := check(CheckAssignLP(ai, seed)); len(vs) > 0 {
+			sh := shrinkAssign(ai, func(c *AssignInstance) bool { return len(CheckAssignLP(c, seed)) > 0 })
+			record(vs, &Repro{Assign: sh})
+		}
+		if i%5 == 0 {
+			// Large sparse arm: exercises the GUB simplex on candidate sets
+			// far beyond the brute-force budget.
+			al := genAssignLarge(rng)
+			if vs := check(CheckAssignLP(al, seed)); len(vs) > 0 {
+				sh := shrinkAssign(al, func(c *AssignInstance) bool { return len(CheckAssignLP(c, seed)) > 0 })
+				record(vs, &Repro{Assign: sh})
+			}
 		}
 
 		for t := 0; t < 2; t++ {

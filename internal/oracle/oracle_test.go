@@ -194,3 +194,23 @@ func TestMetamorphicHandcrafted(t *testing.T) {
 		t.Errorf("CheckTighten: %v", &vs[0])
 	}
 }
+
+// TestCheckAssignLPClean runs the sparse-vs-dense LP cross-check directly on
+// both generator arms: the small instances the brute-force oracles also see,
+// and the large sparse instances only this check scales to.
+func TestCheckAssignLPClean(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < 15; i++ {
+		in := genAssign(rng)
+		if vs := CheckAssignLP(in, int64(i)); len(vs) > 0 {
+			t.Errorf("small instance %d: %v", i, vs[0].Error())
+		}
+	}
+	for i := 0; i < 4; i++ {
+		in := genAssignLarge(rng)
+		if vs := CheckAssignLP(in, int64(100+i)); len(vs) > 0 {
+			t.Errorf("large instance %d (%d FFs, %d rings): %v",
+				i, len(in.FFs), len(in.Rings), vs[0].Error())
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"rotaryclk/internal/assign"
+	"rotaryclk/internal/lp"
 	"rotaryclk/internal/rotary"
 )
 
@@ -169,6 +170,122 @@ func bruteMinMaxCap(arcs [][]arc, nRings int) (best float64, ok, budgetHit bool)
 		return 0, false, true
 	}
 	return best, !math.IsInf(best, 1), false
+}
+
+// CheckAssignLP differentially tests the sparse GUB simplex behind
+// MinMaxCap's LP relaxation (lp.SolveAssignLP) against an independently
+// built dense two-phase simplex on the same arc universe: the optima must
+// agree to 1e-9 relative, and the sparse solver's primal/dual certificate
+// must validate (fractions sum to one, no bin load exceeds z, duals form a
+// probability vector with Σ_i min_j C_ij λ_j = z). Unlike the brute-force
+// checks this scales to hundreds of flip-flops, which is what the
+// genAssignLarge campaign arm feeds it.
+func CheckAssignLP(in *AssignInstance, seed int64) []Violation {
+	const name = "assign/lp"
+	arcs, feasible, solverErr := deriveArcs(in)
+	if solverErr != nil {
+		return nil // tapping-solver fault; the tap oracle owns it
+	}
+
+	rows := make([][]lp.AssignArc, len(arcs))
+	for i, as := range arcs {
+		for _, a := range as {
+			rows[i] = append(rows[i], lp.AssignArc{Bin: a.ring, Load: a.cap})
+		}
+	}
+	res, err := lp.SolveAssignLP(rows, len(in.Rings), lp.Options{})
+	if err != nil {
+		return violationf(name, seed, "sparse LP solve failed: %v", err)
+	}
+	if !feasible {
+		if res.Status != lp.Infeasible {
+			return violationf(name, seed, "an FF has no feasible arc but the sparse LP reports %v", res.Status)
+		}
+		return nil
+	}
+	if res.Status != lp.Optimal {
+		return violationf(name, seed, "sparse LP status %v on a feasible instance", res.Status)
+	}
+
+	var out []Violation
+	// Primal certificate.
+	loads := make([]float64, len(in.Rings))
+	for i, row := range rows {
+		sum := 0.0
+		for k, a := range row {
+			x := res.X[i][k]
+			if x < -1e-9 || x > 1+1e-9 {
+				out = append(out, Violation{Oracle: name, Seed: seed,
+					Detail: fmt.Sprintf("FF %d arc %d: fraction %.9g outside [0,1]", i, k, x)})
+			}
+			sum += x
+			loads[a.Bin] += a.Load * x
+		}
+		if math.Abs(sum-1) > 1e-7 {
+			out = append(out, Violation{Oracle: name, Seed: seed,
+				Detail: fmt.Sprintf("FF %d fractions sum to %.9g, want 1", i, sum)})
+		}
+	}
+	for j, l := range loads {
+		if l > res.Z+1e-6 {
+			out = append(out, Violation{Oracle: name, Seed: seed,
+				Detail: fmt.Sprintf("ring %d load %.9g exceeds reported optimum %.9g", j, l, res.Z)})
+		}
+	}
+	// Dual certificate: λ ≥ 0, Σλ = 1, strong duality.
+	lsum, bound := 0.0, 0.0
+	for j, l := range res.Duals {
+		if l < 0 {
+			out = append(out, Violation{Oracle: name, Seed: seed,
+				Detail: fmt.Sprintf("dual %d is %.9g, want >= 0", j, l)})
+		}
+		lsum += l
+	}
+	if math.Abs(lsum-1) > 1e-7 {
+		out = append(out, Violation{Oracle: name, Seed: seed,
+			Detail: fmt.Sprintf("duals sum to %.9g, want 1", lsum)})
+	}
+	for _, row := range rows {
+		best := math.Inf(1)
+		for _, a := range row {
+			best = math.Min(best, a.Load*res.Duals[a.Bin])
+		}
+		bound += best
+	}
+	if !closeRel(bound, res.Z, 1e-6, 1e-6) {
+		out = append(out, Violation{Oracle: name, Seed: seed,
+			Detail: fmt.Sprintf("dual bound %.9g != optimum %.9g (strong duality violated)", bound, res.Z)})
+	}
+
+	// Independent dense reference on the identical arc data.
+	prob := lp.NewProblem()
+	z := prob.AddVar("z", 1, 0, lp.Inf)
+	binCoefs := make([][]lp.Coef, len(in.Rings))
+	for i, row := range rows {
+		itemCoefs := make([]lp.Coef, len(row))
+		for k, a := range row {
+			v := prob.AddVar(fmt.Sprintf("x_%d_%d", i, k), 0, 0, 1)
+			itemCoefs[k] = lp.Coef{Var: v, Val: 1}
+			binCoefs[a.Bin] = append(binCoefs[a.Bin], lp.Coef{Var: v, Val: a.Load})
+		}
+		prob.AddConstraint(lp.EQ, 1, itemCoefs...)
+	}
+	for _, coefs := range binCoefs {
+		if len(coefs) == 0 {
+			continue
+		}
+		prob.AddConstraint(lp.LE, 0, append(coefs, lp.Coef{Var: z, Val: -1})...)
+	}
+	sol, err := prob.Solve()
+	if err != nil || sol.Status != lp.Optimal {
+		return append(out, Violation{Oracle: name, Seed: seed,
+			Detail: fmt.Sprintf("dense reference solve failed (err %v, status %v) on a feasible instance", err, sol.Status)})
+	}
+	if !closeRel(res.Z, sol.Obj, 1e-9, 1e-9) {
+		out = append(out, Violation{Oracle: name, Seed: seed,
+			Detail: fmt.Sprintf("sparse optimum %.12g != dense simplex optimum %.12g", res.Z, sol.Obj)})
+	}
+	return out
 }
 
 // CheckMinCost differentially tests assign.MinCost (min-cost max-flow over

@@ -22,6 +22,11 @@
 #                         failing with minimized repros under
 #                         testdata/repros/ on any violation (default 25
 #                         seeds; SEEDS=200 is the acceptance depth)
+#   scripts/ci.sh scaling race-enabled 50k-cell generate + place + assign
+#                         smoke under a wall-clock budget (SCALING_TIMEOUT,
+#                         default 10m), plus the tiny sweep-point unit test;
+#                         the full geometric sweep is `make scaling`
+#                         (cmd/rotaryscale -> BENCH_scaling.json)
 #   scripts/ci.sh golden  run only the golden-table regression harness
 #                         (UPDATE=1 re-records the goldens after a reviewed
 #                         table change)
@@ -134,6 +139,29 @@ benchcmp)
         }
     ' "$raw"
     echo "(ns-ratio < 1 is faster than baseline; allocs-x is the allocation reduction factor)"
+    scaling="${BENCH_SCALING:-BENCH_scaling.json}"
+    if [ -f "$scaling" ]; then
+        echo
+        echo "=== size sweep ($scaling, read-only) ==="
+        awk '
+            BEGIN { printf "%10s %8s %7s %12s %14s %10s\n", "cells", "ffs", "rings", "ns/cell", "allocs/cell", "total-ms" }
+            /"cells":/      { gsub(/[^0-9]/, "", $2); cells = $2 }
+            /"ffs":/        { gsub(/[^0-9]/, "", $2); ffs = $2 }
+            /"rings":/      { gsub(/[^0-9]/, "", $2); rings = $2 }
+            /"total_ns":/   { gsub(/[^0-9]/, "", $2); total = $2 }
+            /"ns_per_cell":/    { gsub(/[^0-9.]/, "", $2); nspc = $2 }
+            /"allocs_per_cell":/ {
+                gsub(/[^0-9.]/, "", $2)
+                printf "%10d %8d %7d %12.0f %14.1f %10.0f\n", cells, ffs, rings, nspc, $2, total / 1e6
+            }
+        ' "$scaling"
+    fi
+    ;;
+scaling)
+    timeout="${SCALING_TIMEOUT:-10m}"
+    go test ./internal/bench/ -run '^TestScalingPoint$' -count=1
+    ROTARY_SCALING_SMOKE=1 go test -race -timeout "$timeout" \
+        -run '^TestScaling50k$' -count=1 -v ./internal/bench/
     ;;
 golden)
     if [ "${UPDATE:-0}" = "1" ]; then
@@ -166,7 +194,7 @@ cover)
     fi
     ;;
 *)
-    echo "usage: scripts/ci.sh {test|race|fuzz|bench|benchcmp|oracle|golden|cover}" >&2
+    echo "usage: scripts/ci.sh {test|race|fuzz|bench|benchcmp|scaling|oracle|golden|cover}" >&2
     exit 2
     ;;
 esac
