@@ -4,7 +4,7 @@
 
 SEEDS ?= 25
 
-.PHONY: test race fuzz bench benchcmp scaling scaling-smoke oracle golden cover ci
+.PHONY: test race fuzz serve bench benchcmp scaling scaling-smoke oracle golden cover ci
 
 test:
 	sh scripts/ci.sh test
@@ -14,6 +14,10 @@ race:
 
 fuzz:
 	sh scripts/ci.sh fuzz
+
+# End-to-end daemon smoke: rotaryd under load, deadline degradation, drain.
+serve:
+	sh scripts/ci.sh serve
 
 bench:
 	sh scripts/ci.sh bench
@@ -38,4 +42,4 @@ golden:
 cover:
 	sh scripts/ci.sh cover
 
-ci: test race golden oracle cover
+ci: test race golden oracle serve cover

@@ -28,6 +28,7 @@ import (
 	"rotaryclk/internal/netlist"
 	"rotaryclk/internal/obs"
 	"rotaryclk/internal/report"
+	"rotaryclk/internal/stop"
 	"rotaryclk/internal/viz"
 )
 
@@ -79,6 +80,7 @@ func run() int {
 		svgOut    = flag.String("svg", "", "write the final placement + rings + taps as SVG to this file")
 		jobs      = flag.Int("j", 0, "parallel workers for the flow kernels (0 = all cores, 1 = serial; results identical)")
 		strict    = flag.Bool("strict", false, "fail on the first stage error instead of recovering/degrading")
+		deadline  = flag.Duration("deadline", 0, "wall-clock budget for the flow; past it the run degrades to its best snapshot (0 = none)")
 		metrics   = flag.String("metrics", "", "write the metrics snapshot (solver counters + span tree) as JSON to this file (\"-\" = stdout)")
 		trace     = flag.String("trace", "", "write the metrics snapshot as indented text to this file (\"-\" = stdout)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -123,6 +125,11 @@ func run() int {
 	cfg.MaxIters = *iters
 	cfg.Parallelism = *jobs
 	cfg.Strict = *strict
+	if *deadline > 0 {
+		tok, release := stop.WithTimeout(*deadline)
+		defer release()
+		cfg.Stop = tok
+	}
 	switch *assigner {
 	case "flow":
 	case "ilp":
@@ -204,8 +211,14 @@ func run() int {
 	}
 
 	fmt.Printf("max slack M* = %.1f ps\n", res.MaxSlack)
-	fmt.Printf("tapping WL improvement: %s\n", report.Percent((res.Base.TapWL-res.Final.TapWL)/res.Base.TapWL))
-	fmt.Printf("total WL improvement:   %s\n", report.Percent((res.Base.TotalWL-res.Final.TotalWL)/res.Base.TotalWL))
+	// A deadline-degraded partial result can have a zero base (nothing was
+	// assigned); improvement ratios would print NaN.
+	if res.Base.TapWL > 0 {
+		fmt.Printf("tapping WL improvement: %s\n", report.Percent((res.Base.TapWL-res.Final.TapWL)/res.Base.TapWL))
+	}
+	if res.Base.TotalWL > 0 {
+		fmt.Printf("total WL improvement:   %s\n", report.Percent((res.Base.TotalWL-res.Final.TotalWL)/res.Base.TotalWL))
+	}
 	fmt.Printf("CPU: placement %.2fs, optimization %.2fs\n", res.PlaceSeconds, res.OptSeconds)
 	return 0
 }

@@ -1,0 +1,179 @@
+// Command rotaryload replays deterministic synthetic-circuit traffic
+// against a rotaryd instance and reports latency and shed-rate, so the
+// daemon's robustness claims (admission control, deadline degradation,
+// graceful drain) are measurable with one command.
+//
+// Usage:
+//
+//	rotaryload -addr localhost:8080 -n 32 -c 8 -cells 1500 -deadline-ms 2000
+//	rotaryload -addr localhost:8080 -n 100 -rps 20
+//
+// Job specs are derived deterministically from -seed (job i uses seed
+// seed+i), so two runs against equivalent servers issue identical work.
+// With -rps 0 (default) the driver runs closed-loop at -c concurrent
+// requests; with -rps > 0 it launches open-loop at that rate. 429 (shed)
+// responses count as shed, not failures: shedding under overload is the
+// daemon behaving as designed. Transport errors, 5xx responses, and —
+// when -max-p99-ms is set — a p99 above the bound make the exit code
+// nonzero.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+type jobResult struct {
+	status   int
+	latency  time.Duration
+	degraded bool
+	err      error
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr       = flag.String("addr", "localhost:8080", "rotaryd host:port")
+		n          = flag.Int("n", 32, "total jobs to issue")
+		conc       = flag.Int("c", 8, "concurrent requests (closed-loop mode)")
+		rps        = flag.Float64("rps", 0, "target request rate (open-loop mode; 0 = closed-loop)")
+		cells      = flag.Int("cells", 1500, "cells per synthetic circuit")
+		ffs        = flag.Int("ffs", 0, "flip-flops per circuit (0 = cells/10)")
+		rings      = flag.Int("rings", 16, "rings per job")
+		iters      = flag.Int("iters", 2, "flow iterations per job")
+		deadlineMS = flag.Int("deadline-ms", 0, "per-job deadline (0 = server default)")
+		seed       = flag.Int64("seed", 1, "base circuit seed; job i uses seed+i")
+		maxP99MS   = flag.Float64("max-p99-ms", 0, "fail if completed-job p99 exceeds this (0 = no bound)")
+		timeout    = flag.Duration("timeout", 2*time.Minute, "per-request HTTP timeout")
+	)
+	flag.Parse()
+	if *ffs <= 0 {
+		*ffs = *cells / 10
+		if *ffs < 1 {
+			*ffs = 1
+		}
+	}
+
+	client := &http.Client{Timeout: *timeout}
+	url := fmt.Sprintf("http://%s/v1/jobs", *addr)
+	results := make([]jobResult, *n)
+
+	issue := func(i int) {
+		body, _ := json.Marshal(map[string]any{
+			"circuit":     map[string]any{"cells": *cells, "flipflops": *ffs, "seed": *seed + int64(i)},
+			"rings":       *rings,
+			"iters":       *iters,
+			"deadline_ms": *deadlineMS,
+		})
+		start := time.Now()
+		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			results[i] = jobResult{err: err, latency: time.Since(start)}
+			return
+		}
+		defer resp.Body.Close()
+		var out struct {
+			Degraded bool `json:"degraded"`
+		}
+		data, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode == 200 {
+			if err := json.Unmarshal(data, &out); err != nil {
+				results[i] = jobResult{status: resp.StatusCode, err: fmt.Errorf("bad response body: %v", err), latency: time.Since(start)}
+				return
+			}
+		}
+		results[i] = jobResult{status: resp.StatusCode, degraded: out.Degraded, latency: time.Since(start)}
+	}
+
+	wall := time.Now()
+	var wg sync.WaitGroup
+	if *rps > 0 {
+		interval := time.Duration(float64(time.Second) / *rps)
+		for i := 0; i < *n; i++ {
+			wg.Add(1)
+			go func(i int) { defer wg.Done(); issue(i) }(i)
+			if i+1 < *n {
+				time.Sleep(interval)
+			}
+		}
+	} else {
+		sem := make(chan struct{}, *conc)
+		for i := 0; i < *n; i++ {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				issue(i)
+			}(i)
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(wall)
+
+	var ok, degraded, shed, rejected, failed int
+	var transport []error
+	var lats []float64
+	for _, r := range results {
+		switch {
+		case r.err != nil:
+			failed++
+			transport = append(transport, r.err)
+		case r.status == 200:
+			ok++
+			if r.degraded {
+				degraded++
+			}
+			lats = append(lats, float64(r.latency)/float64(time.Millisecond))
+		case r.status == 429:
+			shed++
+		case r.status == 503:
+			rejected++
+		default:
+			failed++
+			transport = append(transport, fmt.Errorf("job HTTP %d", r.status))
+		}
+	}
+
+	fmt.Printf("rotaryload: %d jobs in %.2fs (%.1f jobs/s)\n", *n, elapsed.Seconds(), float64(*n)/elapsed.Seconds())
+	fmt.Printf("  ok %d (degraded %d)  shed %d  rejected-draining %d  failed %d\n", ok, degraded, shed, rejected, failed)
+	p99 := 0.0
+	if len(lats) > 0 {
+		sort.Float64s(lats)
+		q := func(f float64) float64 {
+			i := int(f * float64(len(lats)))
+			if i >= len(lats) {
+				i = len(lats) - 1
+			}
+			return lats[i]
+		}
+		p99 = q(0.99)
+		fmt.Printf("  latency ms: p50 %.0f  p90 %.0f  p99 %.0f  max %.0f\n", q(0.50), q(0.90), p99, lats[len(lats)-1])
+	}
+	for i, err := range transport {
+		if i >= 5 {
+			fmt.Fprintf(os.Stderr, "rotaryload: ... and %d more failures\n", len(transport)-5)
+			break
+		}
+		fmt.Fprintln(os.Stderr, "rotaryload: failure:", err)
+	}
+	if failed > 0 {
+		return 1
+	}
+	if *maxP99MS > 0 && p99 > *maxP99MS {
+		fmt.Fprintf(os.Stderr, "rotaryload: p99 %.0fms exceeds bound %.0fms\n", p99, *maxP99MS)
+		return 1
+	}
+	return 0
+}

@@ -25,6 +25,7 @@ import (
 
 	"rotaryclk/internal/exp"
 	"rotaryclk/internal/obs"
+	"rotaryclk/internal/stop"
 )
 
 func main() {
@@ -40,6 +41,7 @@ func run() int {
 		tables   = flag.String("tables", "I,II,III,IV,V,VI,VII,Fig2,Var,Trees,Rings", "comma-separated tables to regenerate (Var/Trees/Rings are the extension studies)")
 		jobs     = flag.Int("j", 0, "parallel workers across circuits and kernels (0 = all cores, 1 = serial; identical tables either way)")
 		strict   = flag.Bool("strict", false, "fail on the first flow stage error instead of recovering/degrading")
+		deadline = flag.Duration("deadline", 0, "wall-clock budget for the whole run; past it flows degrade to their best snapshots (0 = none)")
 		metrics  = flag.String("metrics", "", "write per-circuit metrics snapshots (solver counters + span tree) as JSON to this file")
 		trace    = flag.String("trace", "", "write per-circuit metrics snapshots as indented text to this file")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -80,6 +82,11 @@ func run() int {
 		Scale: *scale, ILPBudget: *budget, ILPNodes: *ilpNodes,
 		Parallelism: *jobs, Strict: *strict,
 		Metrics: *metrics != "" || *trace != "",
+	}
+	if *deadline > 0 {
+		tok, release := stop.WithTimeout(*deadline)
+		defer release()
+		opt.Stop = tok
 	}
 	if *subset != "" {
 		opt.Circuits = strings.Split(*subset, ",")

@@ -24,6 +24,7 @@ import (
 	"rotaryclk/internal/obs"
 	"rotaryclk/internal/par"
 	"rotaryclk/internal/rotary"
+	"rotaryclk/internal/stop"
 )
 
 // ErrInfeasible marks assignment failures that stem from the instance, not
@@ -93,6 +94,11 @@ type Problem struct {
 	// on one key may both compute). Nil falls back to the armed global
 	// registry; disarmed costs one atomic load per solve.
 	Obs *obs.Registry
+	// Stop is the cooperative cancellation token, checked once per flip-flop
+	// candidate row and threaded into the downstream flow/LP solvers. Nil
+	// never stops. A fired token aborts the solve with an error wrapping the
+	// stop sentinel (no partial Assignment is returned).
+	Stop *stop.Token
 
 	obsReg *obs.Registry // resolved once in normalize
 }
@@ -210,6 +216,10 @@ func (p *Problem) candidates() ([][]candidate, error) {
 	// capacity-clipped prefix of it.
 	arena := make([]candidate, len(p.FFs)*p.K)
 	par.For(p.Parallelism, len(p.FFs), func(i int) {
+		if err := stop.Check(p.Stop, faultinject.SiteAssignCandCancel); err != nil {
+			errs[i] = fmt.Errorf("assign: candidate construction: %w", err)
+			return
+		}
 		ff := p.FFs[i]
 		rings := p.Array.NearestRings(ff.Pos, p.K)
 		row := arena[i*p.K : i*p.K : (i+1)*p.K]
@@ -326,6 +336,7 @@ func MinCost(p *Problem) (*Assignment, error) {
 	nFF, nR := len(p.FFs), len(p.Array.Rings)
 	g := mcmf.NewGraph(2 + nFF + nR)
 	g.Obs = p.obsReg
+	g.Stop = p.Stop
 	s, t := 0, 1
 	ffNode := func(i int) int { return 2 + i }
 	ringNode := func(j int) int { return 2 + nFF + j }
@@ -397,7 +408,7 @@ func MinMaxCap(p *Problem) (*Assignment, *Relax, error) {
 	if p.LP == LPDense {
 		p.obsReg.Add("assign.lp.path.dense", 1)
 		prob, vars, z := buildMinMaxLP(p, cands, false)
-		sol, err := prob.SolveOpts(lp.Options{Obs: p.obsReg})
+		sol, err := prob.SolveOpts(lp.Options{Obs: p.obsReg, Stop: p.Stop})
 		if err != nil {
 			return nil, nil, err
 		}
@@ -411,7 +422,7 @@ func MinMaxCap(p *Problem) (*Assignment, *Relax, error) {
 		lpOpt, iters = sol.X[z], sol.Iters
 	} else {
 		p.obsReg.Add("assign.lp.path.sparse", 1)
-		res, err := lp.SolveAssignLP(sparseArcs(cands), len(p.Array.Rings), lp.Options{Obs: p.obsReg})
+		res, err := lp.SolveAssignLP(sparseArcs(cands), len(p.Array.Rings), lp.Options{Obs: p.obsReg, Stop: p.Stop})
 		if err != nil {
 			return nil, nil, err
 		}
@@ -532,6 +543,9 @@ func MinMaxCapILP(p *Problem, opts lp.ILPOptions) (*Assignment, lp.ILPSolution, 
 	prob, vars, _ := buildMinMaxLP(p, cands, true)
 	if opts.Obs == nil {
 		opts.Obs = p.obsReg
+	}
+	if opts.Stop == nil {
+		opts.Stop = p.Stop
 	}
 	sol, err := prob.SolveILP(opts)
 	if err != nil {

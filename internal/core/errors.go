@@ -9,6 +9,7 @@ import (
 	"rotaryclk/internal/placer"
 	"rotaryclk/internal/rotary"
 	"rotaryclk/internal/skew"
+	"rotaryclk/internal/stop"
 )
 
 // Kind classifies why a flow stage failed. Every error returned by Run wraps
@@ -36,6 +37,14 @@ const (
 	// Internal: an invariant the flow itself is responsible for broke; a
 	// bug, not a property of the input.
 	Internal
+	// Canceled: the caller explicitly fired the run's stop token. The
+	// best-so-far result is valid; in non-strict mode Run returns it
+	// degraded rather than erroring.
+	Canceled
+	// DeadlineExceeded: the run's deadline fired mid-solve. Same degraded
+	// best-so-far semantics as Canceled; the distinct kind lets serving
+	// layers report deadline pressure separately from user cancels.
+	DeadlineExceeded
 )
 
 func (k Kind) String() string {
@@ -50,6 +59,10 @@ func (k Kind) String() string {
 		return "invalid-input"
 	case Internal:
 		return "internal"
+	case Canceled:
+		return "canceled"
+	case DeadlineExceeded:
+		return "deadline-exceeded"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -97,6 +110,10 @@ func classify(err error) Kind {
 		return BudgetExceeded
 	case errors.Is(err, lp.ErrBadProblem):
 		return InvalidInput
+	case errors.Is(err, stop.ErrCanceled):
+		return Canceled
+	case errors.Is(err, stop.ErrDeadlineExceeded):
+		return DeadlineExceeded
 	}
 	return Internal
 }

@@ -27,6 +27,7 @@ import (
 	"rotaryclk/internal/power"
 	"rotaryclk/internal/rotary"
 	"rotaryclk/internal/skew"
+	"rotaryclk/internal/stop"
 	"rotaryclk/internal/timing"
 )
 
@@ -97,6 +98,31 @@ type Config struct {
 	// internal/obs); fully disarmed, instrumentation costs one atomic
 	// load per solver entry and Result.Metrics stays nil.
 	Obs *obs.Registry
+
+	// Stop is an optional cooperative-cancellation token. Run checks it at
+	// every stage boundary and threads it into every long solver loop (CG
+	// iterations, simplex pivots, branch-and-bound nodes, augmenting-path
+	// searches, candidate construction, skew feasibility rounds), so a
+	// fired token surfaces within one inner iteration. Cancellation never
+	// leaves a partial write: each solver hands back its best-so-far
+	// state. In non-strict mode the run then degrades — the Result carries
+	// the best consistent snapshot plus a Canceled or DeadlineExceeded
+	// event — while strict mode raises the typed *StageError. Nil means
+	// the run cannot be canceled.
+	Stop *stop.Token
+
+	// System optionally supplies a prebuilt quadratic placement system to
+	// fork instead of assembling the CSR connectivity from scratch (see
+	// placer.System.Fork). The serving layer uses this to amortize system
+	// assembly across requests for the same circuit spec. It must have
+	// been built for a circuit structurally identical to c (deterministic
+	// generation guarantees this for equal specs); an obvious mismatch is
+	// rejected as InvalidInput. Nil builds a fresh system.
+	System *placer.System
+
+	// TapCache optionally carries tapping-point solves across runs sharing
+	// a ring array geometry. Nil uses a run-local cache.
+	TapCache *assign.TapCache
 }
 
 func (c *Config) normalize() {
@@ -235,10 +261,73 @@ func Run(c *netlist.Circuit, cfg Config) (*Result, error) {
 	// every placer call of the run — the initial global placement and all
 	// stage-6 incremental re-placements — because the net connectivity it
 	// encodes never changes across flow iterations; only the anchor overlay
-	// (pseudo-nets, stability anchors) differs per solve.
-	psys, err := placer.NewSystem(c, reg)
-	if err != nil {
-		return nil, stageErr(1, 0, fmt.Errorf("placement system: %w", err))
+	// (pseudo-nets, stability anchors) differs per solve. A caller-supplied
+	// template system skips even that one assembly: the fork shares the
+	// immutable connectivity and carries job-local mutable state.
+	var psys *placer.System
+	if cfg.System != nil {
+		fk, err := cfg.System.Fork(c, reg)
+		if err != nil {
+			return nil, &StageError{Stage: 1, Kind: InvalidInput, Err: fmt.Errorf("forking placement system: %w", err)}
+		}
+		psys = fk
+	} else {
+		ns, err := placer.NewSystem(c, reg)
+		if err != nil {
+			return nil, stageErr(1, 0, fmt.Errorf("placement system: %w", err))
+		}
+		psys = ns
+	}
+
+	// degradeEarly finishes a run stopped before the base case exists. The
+	// consistent prefix reached so far (best-effort legalized placement,
+	// ring array, possibly a stage-2 schedule) is still a valid — if
+	// empty-handed — result, so non-strict callers get it back Degraded
+	// with the stop event recorded instead of an error; strict callers get
+	// the typed failure. Only stop errors route here.
+	degradeEarly := func(stage int, err error) (*Result, error) {
+		se := stageErr(stage, 0, err)
+		if cfg.Strict {
+			return nil, se
+		}
+		res.event(stage, 0, se.Kind, "stopped before the base case; returning partial result", err)
+		res.Degraded = true
+		if stage == 1 && !cfg.SkipInitialPlace {
+			// The canceled solve wrote its best iterate onto the circuit;
+			// legalization turns it into a usable (overlap-free) placement.
+			if lerr := placer.Legalize(c); lerr != nil {
+				res.event(1, 0, Internal, "legalizing partial placement failed", lerr)
+			}
+		}
+		if res.Array == nil {
+			if a, aerr := rotary.SquareArray(c.Die, cfg.NumRings, cfg.RingFill, cfg.Params); aerr == nil {
+				res.Array = a
+			}
+		}
+		if res.Assign == nil {
+			numRings := 0
+			if res.Array != nil {
+				numRings = len(res.Array.Rings)
+			}
+			res.Assign = &assign.Assignment{
+				Ring:  []int{},
+				Taps:  []rotary.Tap{},
+				Loads: make([]float64, numRings),
+			}
+		}
+		if res.Schedule == nil {
+			res.Schedule = []float64{}
+		}
+		res.Base = measure(c, cfg, res.Assign, n)
+		res.Final = res.Base
+		res.PerIter = append(res.PerIter, res.Base)
+		if reg != nil {
+			reg.Add("core.events", int64(len(res.Events)))
+			reg.Add("core.degraded", 1)
+			root.End()
+			res.Metrics = reg.Snapshot()
+		}
+		return res, nil
 	}
 
 	// Stage 1: initial placement. Conjugate-gradients stagnation is the one
@@ -248,10 +337,10 @@ func Run(c *netlist.Circuit, cfg Config) (*Result, error) {
 	tPlace := time.Now()
 	s1 := root.Child("stage1.place")
 	if !cfg.SkipInitialPlace {
-		err := psys.Global(placer.Options{Parallelism: cfg.Parallelism, Obs: reg})
+		err := psys.Global(placer.Options{Parallelism: cfg.Parallelism, Obs: reg, Stop: cfg.Stop})
 		if err != nil && errors.Is(err, placer.ErrNonConverged) && !cfg.Strict {
 			res.event(1, 0, NonConverged, "retrying global placement at 100x looser CG tolerance", err)
-			err = psys.Global(placer.Options{Parallelism: cfg.Parallelism, CGTol: 1e-4, Obs: reg})
+			err = psys.Global(placer.Options{Parallelism: cfg.Parallelism, CGTol: 1e-4, Obs: reg, Stop: cfg.Stop})
 			if err != nil && errors.Is(err, placer.ErrNonConverged) {
 				// Both solves stagnated; the best-effort iterate is on the
 				// circuit and legalization makes it usable.
@@ -260,6 +349,10 @@ func Run(c *netlist.Circuit, cfg Config) (*Result, error) {
 			}
 		}
 		if err != nil {
+			if stop.IsStop(err) {
+				res.PlaceSeconds += time.Since(tPlace).Seconds()
+				return degradeEarly(1, fmt.Errorf("global placement: %w", err))
+			}
 			return nil, stageErr(1, 0, fmt.Errorf("global placement: %w", err))
 		}
 		if err := placer.Legalize(c); err != nil {
@@ -274,6 +367,11 @@ func Run(c *netlist.Circuit, cfg Config) (*Result, error) {
 	}
 	s1.End()
 	res.PlaceSeconds += time.Since(tPlace).Seconds()
+	if serr := cfg.Stop.Err(); serr != nil {
+		// Placement is complete and legal; the run stops at the stage
+		// boundary with a placement-only result.
+		return degradeEarly(2, fmt.Errorf("after placement: %w", serr))
+	}
 
 	// Rotary ring array over the die.
 	arr, err := rotary.SquareArray(c.Die, cfg.NumRings, cfg.RingFill, cfg.Params)
@@ -291,8 +389,12 @@ func Run(c *netlist.Circuit, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, stageErr(2, 0, err)
 	}
-	M, sched, err := skew.MaxSlackExact(n, pairs, cfg.Params.Period, cfg.TModel.TSetup, cfg.TModel.THold)
+	M, sched, err := skew.MaxSlackExactStop(cfg.Stop, n, pairs, cfg.Params.Period, cfg.TModel.TSetup, cfg.TModel.THold)
 	if err != nil {
+		if stop.IsStop(err) {
+			res.OptSeconds += time.Since(tOpt).Seconds()
+			return degradeEarly(2, fmt.Errorf("max-slack skew optimization: %w", err))
+		}
 		return nil, stageErr(2, 0, fmt.Errorf("max-slack skew optimization: %w", err))
 	}
 	res.MaxSlack = M
@@ -305,10 +407,17 @@ func Run(c *netlist.Circuit, cfg Config) (*Result, error) {
 	// flip-flops keep their (position, target) pair from one iteration to
 	// the next, so their candidate arcs come from the cache instead of
 	// being re-solved.
-	tapCache := assign.NewTapCache()
+	tapCache := cfg.TapCache
+	if tapCache == nil {
+		tapCache = assign.NewTapCache()
+	}
 	s3 := root.Child("stage3.assign")
 	asg, err := assignRecover(c, cfg, arr, res.FFCells, sched, tapCache, res, 0, reg)
 	if err != nil {
+		if stop.IsStop(err) {
+			res.OptSeconds += time.Since(tOpt).Seconds()
+			return degradeEarly(3, fmt.Errorf("assignment: %w", err))
+		}
 		return nil, stageErr(3, 0, err)
 	}
 	s3.End()
@@ -359,6 +468,12 @@ func Run(c *netlist.Circuit, cfg Config) (*Result, error) {
 	}
 loop:
 	for iter := 1; iter <= cfg.MaxIters; iter++ {
+		if serr := cfg.Stop.Err(); serr != nil {
+			if se := fail(6, iter, fmt.Errorf("before iteration: %w", serr)); se != nil {
+				return nil, se
+			}
+			break loop
+		}
 		reg.Add("core.iterations", 1)
 		itSp := root.Child("flow.iter", obs.I("iter", iter))
 		// Stage 6: pseudo-net incremental placement toward the current
@@ -373,10 +488,10 @@ loop:
 				Weight: cfg.PseudoWeight * float64(iter),
 			})
 		}
-		err := psys.Incremental(placer.Options{PseudoNets: pn, Parallelism: cfg.Parallelism, Obs: reg})
+		err := psys.Incremental(placer.Options{PseudoNets: pn, Parallelism: cfg.Parallelism, Obs: reg, Stop: cfg.Stop})
 		if err != nil && errors.Is(err, placer.ErrNonConverged) && !cfg.Strict {
 			res.event(6, iter, NonConverged, "retrying incremental placement at 100x looser CG tolerance", err)
-			err = psys.Incremental(placer.Options{PseudoNets: pn, Parallelism: cfg.Parallelism, CGTol: 1e-4, Obs: reg})
+			err = psys.Incremental(placer.Options{PseudoNets: pn, Parallelism: cfg.Parallelism, CGTol: 1e-4, Obs: reg, Stop: cfg.Stop})
 			if err != nil && errors.Is(err, placer.ErrNonConverged) {
 				res.event(6, iter, NonConverged, "keeping best-effort placement from stagnated solve", err)
 				err = nil
@@ -418,9 +533,17 @@ loop:
 		}
 		mWork := res.WorkSlack
 		var msSched []float64 // fresh max-slack schedule, stage 4's last-resort fallback
-		if mi, ms, err := skew.MaxSlackExact(n, pairs, cfg.Params.Period, cfg.TModel.TSetup, cfg.TModel.THold); err == nil {
+		if mi, ms, err := skew.MaxSlackExactStop(cfg.Stop, n, pairs, cfg.Params.Period, cfg.TModel.TSetup, cfg.TModel.THold); err == nil {
 			mWork = workSlack(cfg.SlackFrac, mi)
 			msSched = ms
+		} else if stop.IsStop(err) {
+			// A fired token is not a property of this placement; stop the
+			// loop on the snapshot rather than optimizing against stale
+			// margins.
+			if se := fail(2, iter, fmt.Errorf("in-loop slack refresh: %w", err)); se != nil {
+				return nil, se
+			}
+			break loop
 		} else if cfg.Strict {
 			return nil, stageErr(2, iter, fmt.Errorf("in-loop slack refresh: %w", err))
 		} else {
@@ -532,9 +655,16 @@ func runSignalOnly(c *netlist.Circuit, cfg Config, res *Result) (*Result, error)
 	tPlace := time.Now()
 	s1 := root.Child("stage1.place")
 	if !cfg.SkipInitialPlace {
-		err := psys.Global(placer.Options{Parallelism: cfg.Parallelism, Obs: reg})
+		err := psys.Global(placer.Options{Parallelism: cfg.Parallelism, Obs: reg, Stop: cfg.Stop})
 		if err != nil && errors.Is(err, placer.ErrNonConverged) {
 			res.event(1, 0, NonConverged, "keeping best-effort placement from stagnated solve", err)
+			err = nil
+		}
+		if err != nil && stop.IsStop(err) {
+			// Only reached in non-strict mode: keep the best-effort iterate
+			// and degrade, like the flip-flop flow's early-degrade path.
+			res.event(1, 0, classify(err), "stopped during placement; keeping best-effort iterate", err)
+			res.Degraded = true
 			err = nil
 		}
 		if err != nil {
@@ -567,6 +697,9 @@ func runSignalOnly(c *netlist.Circuit, cfg Config, res *Result) (*Result, error)
 	res.PerIter = append(res.PerIter, res.Base)
 	if reg != nil {
 		reg.Add("core.events", int64(len(res.Events)))
+		if res.Degraded {
+			reg.Add("core.degraded", 1)
+		}
 		root.End()
 		res.Metrics = reg.Snapshot()
 	}
@@ -612,6 +745,7 @@ func runAssign(c *netlist.Circuit, cfg Config, arr *rotary.Array, ffCells []int,
 		Cache:       cache,
 		TapFallback: fallback,
 		Obs:         reg,
+		Stop:        cfg.Stop,
 	}
 	if cfg.Assigner == ILP {
 		a, _, err := assign.MinMaxCap(p)
@@ -737,10 +871,10 @@ func costDriven(c *netlist.Circuit, cfg Config, arr *rotary.Array, ffCells []int
 		weights[i] = math.Max(1, dist)
 	}
 	if cfg.Objective == WeightedSum {
-		_, t, err := skew.WeightedSum(n, cons, targets, weights)
+		_, t, err := skew.WeightedSumStop(cfg.Stop, n, cons, targets, weights)
 		return t, err
 	}
-	_, t, err := skew.MinDelta(n, cons, anchors, 0)
+	_, t, err := skew.MinDeltaStop(cfg.Stop, n, cons, anchors, 0)
 	return t, err
 }
 

@@ -12,6 +12,7 @@ import (
 	"rotaryclk/internal/placer"
 	"rotaryclk/internal/rotary"
 	"rotaryclk/internal/skew"
+	"rotaryclk/internal/stop"
 )
 
 // The recovery matrix: every failure kind of the taxonomy is forced through
@@ -44,6 +45,8 @@ func TestClassify(t *testing.T) {
 		{fmt.Errorf("x: %w", placer.ErrNonConverged), NonConverged},
 		{fmt.Errorf("x: %w", lp.ErrBudget), BudgetExceeded},
 		{fmt.Errorf("x: %w", lp.ErrBadProblem), InvalidInput},
+		{fmt.Errorf("x: %w", stop.ErrCanceled), Canceled},
+		{fmt.Errorf("x: %w", stop.ErrDeadlineExceeded), DeadlineExceeded},
 		{errors.New("anything else"), Internal},
 	}
 	for _, c := range cases {

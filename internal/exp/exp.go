@@ -23,6 +23,7 @@ import (
 	"rotaryclk/internal/par"
 	"rotaryclk/internal/placer"
 	"rotaryclk/internal/rotary"
+	"rotaryclk/internal/stop"
 	"rotaryclk/internal/timing"
 	"rotaryclk/internal/variation"
 )
@@ -54,6 +55,12 @@ type Options struct {
 	// columns deterministic (wall-clock budgets are not), which is what the
 	// golden-table harness needs.
 	ILPNodes int
+	// Stop cancels the whole experiment run cooperatively: it is threaded
+	// into every flow (core.Config.Stop) and into the Table I ILP
+	// baseline, so a fired token ends each in-flight solve within one
+	// inner iteration. Non-strict flows degrade to their best snapshot;
+	// Table I reports the incumbent the budget bought.
+	Stop *stop.Token
 }
 
 func (o *Options) normalize() {
@@ -116,6 +123,7 @@ func runCircuit(b bench.Circuit, opt Options) (*CircuitRun, error) {
 	cfg := b.Config()
 	cfg.Parallelism = parallelism
 	cfg.Strict = opt.Strict
+	cfg.Stop = opt.Stop
 	cfgILP := cfg
 	cfgILP.Assigner = core.ILP
 	if opt.Metrics {
@@ -233,6 +241,7 @@ func TableI(opt Options) ([]RowI, error) {
 			errs[i] = err
 			return
 		}
+		prob.Stop = opt.Stop
 		t0 := time.Now()
 		_, rel, err := assign.MinMaxCap(prob)
 		if err != nil {
@@ -241,11 +250,11 @@ func TableI(opt Options) ([]RowI, error) {
 		}
 		greedyCPU := time.Since(t0).Seconds()
 
-		ilpOpt := lp.ILPOptions{TimeLimit: opt.ILPBudget}
+		ilpOpt := lp.ILPOptions{TimeLimit: opt.ILPBudget, Stop: opt.Stop}
 		if opt.ILPNodes > 0 {
 			// Node budgets are deterministic where wall-clock budgets are
 			// not; the golden harness runs Table I this way.
-			ilpOpt = lp.ILPOptions{MaxNodes: opt.ILPNodes}
+			ilpOpt = lp.ILPOptions{MaxNodes: opt.ILPNodes, Stop: opt.Stop}
 		}
 		t0 = time.Now()
 		ilpA, ilpSol, err := assign.MinMaxCapILP(prob, ilpOpt)

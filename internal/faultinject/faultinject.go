@@ -43,6 +43,18 @@ const (
 	SiteLPSolve           = "lp.Solve"
 	SiteLPSolveILP        = "lp.SolveILP"
 	SiteRotarySolveTap    = "rotary.SolveTap"
+
+	// Cancellation-path sites: one per long solver loop, checked every
+	// iteration via stop.Check. Arming one with stop.ErrDeadlineExceeded (or
+	// stop.ErrCanceled) simulates a deadline firing at an exact iteration of
+	// that loop, which is how the recovery-matrix tests prove every loop
+	// degrades instead of hanging or corrupting state.
+	SitePlacerCGCancel   = "placer.cg.cancel"         // per CG iteration (both axes)
+	SiteLPPivotCancel    = "lp.pivot.cancel"          // per simplex pivot (dense + assignment LP)
+	SiteLPNodeCancel     = "lp.bb.cancel"             // per branch-and-bound node
+	SiteMcmfPathCancel   = "mcmf.path.cancel"         // per augmenting path / reroute
+	SiteAssignCandCancel = "assign.candidates.cancel" // per flip-flop candidate row
+	SiteSkewIterCancel   = "skew.iter.cancel"         // per Bellman-Ford / Karp DP round
 )
 
 // Rule injects Err at one site. Call selects which call (1-based, counted

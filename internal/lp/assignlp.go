@@ -37,6 +37,7 @@ import (
 
 	"rotaryclk/internal/faultinject"
 	"rotaryclk/internal/obs"
+	"rotaryclk/internal/stop"
 )
 
 // AssignArc is one candidate (item, bin) arc of a min-max-load assignment
@@ -90,7 +91,7 @@ func SolveAssignLP(arcs [][]AssignArc, nBins int, opts Options) (AssignLPResult,
 	}
 	opts.normalize(len(arcs)+nBins, nnz+nBins+1)
 	s := newAssignSimplex(arcs, nBins, nnz, opts.Tol)
-	res, err := s.solve(opts.MaxIters)
+	res, err := s.solve(opts.MaxIters, opts.Stop)
 	if reg := obs.Resolve(opts.Obs); reg != nil {
 		reg.Add("lp.assignlp.solves", 1)
 		reg.Add("lp.assignlp.pivots", int64(s.pivots))
@@ -364,7 +365,7 @@ func (s *assignSimplex) arcRC(f int32, y []float64) float64 {
 	return s.load[k]*y[s.binOf[k]] - s.load[f]*y[s.binOf[f]]
 }
 
-func (s *assignSimplex) solve(maxIters int) (AssignLPResult, error) {
+func (s *assignSimplex) solve(maxIters int, tok *stop.Token) (AssignLPResult, error) {
 	if err := s.refactor(); err != nil {
 		return AssignLPResult{Status: Infeasible}, err
 	}
@@ -379,6 +380,13 @@ func (s *assignSimplex) solve(maxIters int) (AssignLPResult, error) {
 		window = s.nnz
 	}
 	for s.pivots < maxIters {
+		if err := stop.Check(tok, faultinject.SiteLPPivotCancel); err != nil {
+			// Same contract as the dense simplex: the warm-started basis is
+			// primal feasible at every pivot, so the current point is a valid
+			// (suboptimal) assignment fraction — return it with the stop error.
+			s.recomputeValues()
+			return s.result(IterLimit), fmt.Errorf("lp: assignment LP: %w", err)
+		}
 		y := s.winv[:r]
 
 		// Pricing. Slacks (r of them) are scanned in full every pivot; arcs

@@ -1,11 +1,13 @@
 package lp
 
 import (
+	"fmt"
 	"math"
 	"time"
 
 	"rotaryclk/internal/faultinject"
 	"rotaryclk/internal/obs"
+	"rotaryclk/internal/stop"
 )
 
 // ILPOptions bounds the branch-and-bound search. The paper's Table I runs a
@@ -22,6 +24,12 @@ type ILPOptions struct {
 	// Obs receives search telemetry (node/incumbent counters) and is also
 	// installed as the per-node LP registry when LP.Obs is nil.
 	Obs *obs.Registry
+	// Stop is the cooperative cancellation token, checked once per node and
+	// (via LP.Stop, installed when that is nil) once per pivot of every
+	// per-node LP. A fired token stops the search with BudgetHit set and the
+	// incumbent intact, and returns an error wrapping the stop sentinel so
+	// cancellation is distinguishable from an exhausted node budget.
+	Stop *stop.Token
 }
 
 // DefaultMaxNodes is the branch-and-bound node cap applied when ILPOptions
@@ -84,6 +92,9 @@ func (p *Problem) SolveILP(opts ILPOptions) (ILPSolution, error) {
 	if opts.LP.Obs == nil {
 		opts.LP.Obs = opts.Obs
 	}
+	if opts.LP.Stop == nil {
+		opts.LP.Stop = opts.Stop
+	}
 	reg := obs.Resolve(opts.Obs)
 	incumbents := int64(0)
 	deadline := time.Time{}
@@ -125,12 +136,21 @@ func (p *Problem) SolveILP(opts ILPOptions) (ILPSolution, error) {
 			res.BudgetHit = true
 			break
 		}
+		if serr := stop.Check(opts.Stop, faultinject.SiteLPNodeCancel); serr != nil {
+			res.BudgetHit = true
+			return res, fmt.Errorf("lp: branch and bound: %w", serr)
+		}
 		nd := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		res.Nodes++
 
 		sol, err := p.solveWithBounds(nd.lo, nd.hi, opts.LP)
 		if err != nil {
+			if stop.IsStop(err) {
+				// Cancellation surfaced inside a per-node LP: keep the
+				// incumbent, mark the budget path, report the stop.
+				res.BudgetHit = true
+			}
 			return res, err
 		}
 		if sol.Status == Infeasible {

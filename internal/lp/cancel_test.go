@@ -1,0 +1,98 @@
+package lp
+
+import (
+	"errors"
+	"testing"
+
+	"rotaryclk/internal/faultinject"
+	"rotaryclk/internal/stop"
+)
+
+// bbInstance is a knapsack-shaped ILP needing a real branch-and-bound search
+// (the same shape as TestILPNodeBudgetTyped, which proves it takes more than
+// a couple of nodes).
+func bbInstance() *Problem {
+	p := NewProblem()
+	n := 10
+	coefs := make([]Coef, n)
+	for i := 0; i < n; i++ {
+		v := p.AddIntVar("", -(1 + float64(i%3)), 0, 1)
+		coefs[i] = Coef{v, 2 + float64(i%2)}
+	}
+	p.AddConstraint(LE, 7.5, coefs...)
+	return p
+}
+
+// TestILPCancelPreFired: a token fired before the search starts stops it at
+// the first node check with the budget path marked and the stop sentinel
+// surfaced — cancellation is distinguishable from an exhausted node budget.
+func TestILPCancelPreFired(t *testing.T) {
+	tok := stop.New()
+	tok.Cancel()
+	res, err := bbInstance().SolveILP(ILPOptions{Stop: tok})
+	if !errors.Is(err, stop.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if !res.BudgetHit {
+		t.Error("canceled search must report BudgetHit")
+	}
+	if res.Status == ILPOptimal {
+		t.Error("canceled search must not claim optimality")
+	}
+}
+
+// TestILPCancelKeepsIncumbent arms the last branch-and-bound node check of
+// an undisturbed search (found by a counting dry run, so the targeting is
+// deterministic): by then the DFS holds an incumbent, and the canceled
+// search must hand it back intact alongside the stop error.
+func TestILPCancelKeepsIncumbent(t *testing.T) {
+	restore := faultinject.Enable() // count-only: no rules
+	full, err := bbInstance().SolveILP(ILPOptions{})
+	if err != nil {
+		restore()
+		t.Fatal(err)
+	}
+	checks := faultinject.Calls(faultinject.SiteLPNodeCancel)
+	restore()
+	if full.Status != ILPOptimal || checks < 3 {
+		t.Fatalf("instance too easy to cancel mid-search: status %v, %d node checks", full.Status, checks)
+	}
+
+	defer faultinject.Enable(faultinject.Rule{
+		Site: faultinject.SiteLPNodeCancel, Call: checks, Err: stop.ErrDeadlineExceeded,
+	})()
+	res, err := bbInstance().SolveILP(ILPOptions{})
+	if !errors.Is(err, stop.ErrDeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrDeadlineExceeded", err)
+	}
+	if !res.BudgetHit {
+		t.Error("canceled search must report BudgetHit")
+	}
+	if res.Status != ILPFeasible || res.X == nil {
+		t.Fatalf("incumbent lost: status %v, X %v", res.Status, res.X)
+	}
+	// The incumbent is a real feasible point of the search, so it must carry
+	// the objective the full solve eventually proved optimal or worse.
+	if res.Obj < full.Obj-1e-9 {
+		t.Errorf("canceled incumbent obj %v beats the proven optimum %v", res.Obj, full.Obj)
+	}
+}
+
+// TestILPCancelInsideNodeLP: a cancellation observed by a per-node simplex
+// (the token is installed into LP.Stop automatically) propagates out of the
+// search with the budget path marked, never as a wrong optimality claim.
+func TestILPCancelInsideNodeLP(t *testing.T) {
+	defer faultinject.Enable(faultinject.Rule{
+		Site: faultinject.SiteLPPivotCancel, Call: 1, Err: stop.ErrCanceled,
+	})()
+	res, err := bbInstance().SolveILP(ILPOptions{})
+	if !errors.Is(err, stop.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if !res.BudgetHit {
+		t.Error("canceled search must report BudgetHit")
+	}
+	if res.Status == ILPOptimal {
+		t.Error("canceled search must not claim optimality")
+	}
+}

@@ -25,6 +25,7 @@ import (
 
 	"rotaryclk/internal/faultinject"
 	"rotaryclk/internal/obs"
+	"rotaryclk/internal/stop"
 )
 
 // ErrBudget classifies solves stopped by an iteration, node, or time budget
@@ -192,6 +193,12 @@ type Options struct {
 	// back to the armed global registry; disarmed costs one atomic load
 	// per solve (see internal/obs).
 	Obs *obs.Registry
+	// Stop is the cooperative cancellation token, checked once per simplex
+	// pivot. Nil never stops. A fired token ends the solve like an
+	// exhausted iteration budget (Status IterLimit with best-effort X) but
+	// additionally returns an error wrapping the stop sentinel so callers
+	// can distinguish cancellation from a genuine budget.
+	Stop *stop.Token
 }
 
 func (o *Options) normalize(m, n int) {

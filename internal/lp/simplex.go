@@ -3,6 +3,9 @@ package lp
 import (
 	"fmt"
 	"math"
+
+	"rotaryclk/internal/faultinject"
+	"rotaryclk/internal/stop"
 )
 
 // nz is one nonzero of a sparse column.
@@ -34,6 +37,9 @@ type simplex struct {
 
 	// scratch
 	y, w []float64
+
+	tok     *stop.Token // cooperative cancellation, checked per pivot
+	stopErr error       // set when a fired token ended iterate early
 }
 
 const (
@@ -451,6 +457,12 @@ func (s *simplex) step(j int, dir float64) (progress float64, ok bool) {
 func (s *simplex) iterate(cost []float64, opts Options, itersUsed *int) Status {
 	stall := 0
 	for *itersUsed < opts.MaxIters {
+		if err := stop.Check(s.tok, faultinject.SiteLPPivotCancel); err != nil {
+			// Cancellation rides the IterLimit path so the caller still gets
+			// the best-effort iterate state; stopErr distinguishes it.
+			s.stopErr = err
+			return IterLimit
+		}
 		bland := stall > 2*(s.m+64)
 		s.computeDuals(cost)
 		j, dir := s.price(cost, opts.Tol, bland)
@@ -493,6 +505,7 @@ func (s *simplex) objective(cost []float64) float64 {
 
 func (s *simplex) solve(opts Options) (Solution, error) {
 	s.setup()
+	s.tok = opts.Stop
 	iters := 0
 
 	if s.nArt > 0 {
@@ -503,6 +516,9 @@ func (s *simplex) solve(opts Options) (Solution, error) {
 		}
 		st := s.iterate(s.cost1, opts, &iters)
 		if st == IterLimit {
+			if s.stopErr != nil {
+				return Solution{Status: IterLimit, Iters: iters}, fmt.Errorf("lp: simplex phase 1: %w", s.stopErr)
+			}
 			return Solution{Status: IterLimit, Iters: iters}, nil
 		}
 		scale := 1.0
@@ -540,6 +556,11 @@ func (s *simplex) solve(opts Options) (Solution, error) {
 		}
 		sol.Obj = s.objective(s.cost)
 		sol.Duals = append([]float64(nil), s.y...)
+	}
+	if s.stopErr != nil {
+		// Best-effort solution accompanies the cancellation error (same
+		// contract as the placer: state is consistent, just not optimal).
+		return sol, fmt.Errorf("lp: simplex phase 2: %w", s.stopErr)
 	}
 	return sol, nil
 }

@@ -21,6 +21,7 @@ import (
 
 	"rotaryclk/internal/faultinject"
 	"rotaryclk/internal/obs"
+	"rotaryclk/internal/stop"
 )
 
 // ErrNegativeCycle reports that the input graph contains a reachable
@@ -54,6 +55,13 @@ type Graph struct {
 	// relaxations, units pushed). Nil falls back to the armed global
 	// registry; disarmed costs one atomic load per MinCostFlow call.
 	Obs *obs.Registry
+
+	// Stop is the cooperative cancellation token, checked once per
+	// augmenting path and once per Bellman-Ford potential round. Nil never
+	// stops. A fired token aborts the solve with an error wrapping the stop
+	// sentinel; the flow routed so far stays on the arcs (it is a valid
+	// partial flow, just not maximal or cost-optimal).
+	Stop *stop.Token
 }
 
 // NewGraph returns a graph with n nodes (0..n-1).
@@ -166,11 +174,14 @@ func (g *Graph) dijkstra(s int) (dist []float64, prev []int32, relaxed int) {
 
 // bellmanFord initializes potentials when negative-cost arcs are present.
 // It returns false if a negative cycle is reachable (costs unbounded).
-func (g *Graph) bellmanFord() (ok bool, relaxed int) {
+func (g *Graph) bellmanFord() (ok bool, relaxed int, err error) {
 	for i := range g.pot {
 		g.pot[i] = 0
 	}
 	for iter := 0; iter < g.n; iter++ {
+		if err := stop.Check(g.Stop, faultinject.SiteMcmfPathCancel); err != nil {
+			return false, relaxed, fmt.Errorf("mcmf: potential initialization: %w", err)
+		}
 		changed := false
 		for u := 0; u < g.n; u++ {
 			for _, ai := range g.adj[u] {
@@ -186,10 +197,10 @@ func (g *Graph) bellmanFord() (ok bool, relaxed int) {
 			}
 		}
 		if !changed {
-			return true, relaxed
+			return true, relaxed, nil
 		}
 	}
-	return false, relaxed
+	return false, relaxed, nil
 }
 
 // MinCostFlow pushes up to maxFlow units from s to t along successive
@@ -227,13 +238,19 @@ func (g *Graph) MinCostFlow(s, t, maxFlow int) (flow int, cost float64, err erro
 		}
 	}
 	if hasNeg {
-		ok, r := g.bellmanFord()
+		ok, r, berr := g.bellmanFord()
 		relaxed += r
+		if berr != nil {
+			return 0, 0, berr
+		}
 		if !ok {
 			return 0, 0, ErrNegativeCycle
 		}
 	}
 	for flow < maxFlow {
+		if cerr := stop.Check(g.Stop, faultinject.SiteMcmfPathCancel); cerr != nil {
+			return flow, cost, fmt.Errorf("mcmf: augmenting-path search: %w", cerr)
+		}
 		dist, prev, r := g.dijkstra(s)
 		relaxed += r
 		if prev[t] < 0 {

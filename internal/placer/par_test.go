@@ -86,7 +86,7 @@ func BenchmarkCGSolve(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				sys.prepare(&opt, nil, 0)
 				ws := wsPool.Get().(*solveWS)
-				sys.solve(opt.CGTol, opt.CGMaxIter, workers, ws)
+				sys.solve(opt.CGTol, opt.CGMaxIter, workers, ws, nil)
 				wsPool.Put(ws)
 			}
 		}
@@ -112,7 +112,7 @@ func BenchmarkCGScratchReuse(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sys.cg(sys.posX, sys.bx, opt.CGTol, 40, 1, &ws.x)
+		sys.cg(sys.posX, sys.bx, opt.CGTol, 40, 1, &ws.x, nil)
 	}
 }
 

@@ -38,6 +38,7 @@ import (
 	"rotaryclk/internal/netlist"
 	"rotaryclk/internal/obs"
 	"rotaryclk/internal/par"
+	"rotaryclk/internal/stop"
 )
 
 // ErrNonConverged reports that the final quadratic solve stopped on its
@@ -84,6 +85,11 @@ type Options struct {
 	// armed global registry; fully disarmed costs one atomic load per solve
 	// (see internal/obs).
 	Obs *obs.Registry
+	// Stop is the cooperative cancellation token, checked once per CG
+	// iteration. Nil never stops. A fired token aborts the solve with an
+	// error wrapping the stop sentinel after writing the best-effort iterate
+	// back to the circuit (same state contract as ErrNonConverged).
+	Stop *stop.Token
 
 	// rebuildEachSolve (test-only) assembles a fresh System before every
 	// re-solve, reproducing the pre-reuse rebuild-every-time path so tests
@@ -299,6 +305,61 @@ func NewSystem(c *netlist.Circuit, reg *obs.Registry) (*System, error) {
 	return s, nil
 }
 
+// Circuit returns the circuit this system solves for (the one it was built
+// from, or the one it was forked onto).
+func (s *System) Circuit() *netlist.Circuit { return s.c }
+
+// Fork returns a System bound to circuit c that shares this System's
+// immutable connectivity arrays (CSR Laplacian, base diagonal and right-hand
+// sides, star pin lists) but carries fresh mutable per-solve state, so the
+// fork and the original can solve concurrently on different goroutines.
+//
+// Caller contract: c must have connectivity identical to the template's
+// circuit — same cells in the same order with the same Fixed flags and
+// fixed-cell positions, and the same nets. The serving layer guarantees this
+// by keying templates on the full generator spec (deterministic generation:
+// same spec, same circuit); Fork itself only performs cheap structural
+// checks and returns an error on an obvious mismatch.
+//
+// reg rebinds the fork's telemetry to its own registry — a serving layer
+// gives each job a private one so concurrent jobs never share counters — and
+// nil inherits the template's.
+func (s *System) Fork(c *netlist.Circuit, reg *obs.Registry) (*System, error) {
+	if err := validate(c); err != nil {
+		return nil, err
+	}
+	if len(c.Cells) != len(s.c.Cells) || len(c.Nets) != len(s.c.Nets) {
+		return nil, fmt.Errorf("placer: fork: circuit %q (%d cells, %d nets) does not match template %q (%d cells, %d nets)",
+			c.Name, len(c.Cells), len(c.Nets), s.c.Name, len(s.c.Cells), len(s.c.Nets))
+	}
+	ns := &System{
+		c:        c,
+		n:        s.n,
+		nMov:     s.nMov,
+		rowStart: s.rowStart,
+		cols:     s.cols,
+		w:        s.w,
+		baseDiag: s.baseDiag,
+		baseBx:   s.baseBx,
+		baseBy:   s.baseBy,
+		starRow:  s.starRow,
+		starPin:  s.starPin,
+		cells:    s.cells,
+		idx:      s.idx,
+		diag:     make([]float64, s.n),
+		bx:       make([]float64, s.n),
+		by:       make([]float64, s.n),
+		posX:     make([]float64, s.n),
+		posY:     make([]float64, s.n),
+		obs:      s.obs,
+	}
+	if reg != nil {
+		ns.obs = reg
+	}
+	ns.obs.Add("placer.system.forks", 1)
+	return ns, nil
+}
+
 // prepare resets the working system to the immutable base and reapplies the
 // per-solve anchor overlay in the same accumulation order the historical
 // per-solve build used: positions and star seeds from the circuit, then
@@ -369,9 +430,11 @@ func (s *System) solveRound(opt *Options, extra []PseudoNet, extraScale float64,
 		sys = fresh
 	}
 	sys.prepare(opt, extra, extraScale)
-	converged := sys.solve(opt.CGTol, opt.CGMaxIter, workers, ws)
+	converged, serr := sys.solve(opt.CGTol, opt.CGMaxIter, workers, ws, opt.Stop)
+	// Best-effort positions reach the circuit even on cancellation, so the
+	// caller's snapshot/degrade path always sees a consistent placement.
 	sys.writeBack(s.c)
-	return converged, nil
+	return converged, serr
 }
 
 // Kernel grains: chunk sizes of the parallel CG primitives. They are fixed
@@ -418,21 +481,28 @@ var wsPool = sync.Pool{New: func() any { return new(solveWS) }}
 // one worker they solve concurrently, splitting the worker budget. It
 // reports whether both axes converged (posX/posY hold the best-effort
 // iterates either way).
-func (s *System) solve(tol float64, maxIter, workers int, ws *solveWS) bool {
+func (s *System) solve(tol float64, maxIter, workers int, ws *solveWS, tok *stop.Token) (bool, error) {
 	if faultinject.Hook(faultinject.SitePlacerCG) != nil {
-		return false // injected stagnation: exercise the retry path
+		return false, nil // injected stagnation: exercise the retry path
 	}
 	if workers > 1 {
 		half := workers / 2
 		var okX, okY bool
+		var errX, errY error
 		par.Do(workers,
-			func() { okX = s.cg(s.posX, s.bx, tol, maxIter, half, &ws.x) },
-			func() { okY = s.cg(s.posY, s.by, tol, maxIter, workers-half, &ws.y) })
-		return okX && okY
+			func() { okX, errX = s.cg(s.posX, s.bx, tol, maxIter, half, &ws.x, tok) },
+			func() { okY, errY = s.cg(s.posY, s.by, tol, maxIter, workers-half, &ws.y, tok) })
+		if errX != nil {
+			return okX && okY, errX // x before y: deterministic error choice
+		}
+		return okX && okY, errY
 	}
-	okX := s.cg(s.posX, s.bx, tol, maxIter, 1, &ws.x)
-	okY := s.cg(s.posY, s.by, tol, maxIter, 1, &ws.y)
-	return okX && okY
+	okX, errX := s.cg(s.posX, s.bx, tol, maxIter, 1, &ws.x, tok)
+	okY, errY := s.cg(s.posY, s.by, tol, maxIter, 1, &ws.y, tok)
+	if errX != nil {
+		return okX && okY, errX
+	}
+	return okX && okY, errY
 }
 
 // mulvec computes out = A*v for the Laplacian-plus-diagonal system. The CSR
@@ -469,11 +539,13 @@ func dot(a, b []float64, workers int) float64 {
 
 // cg reports whether it reached the residual tolerance; on a false return
 // (iteration budget exhausted or numerical breakdown with the residual still
-// high) x holds the best iterate reached.
-func (s *System) cg(x, b []float64, tol float64, maxIter, workers int, ws *cgScratch) bool {
+// high) x holds the best iterate reached. A fired stop token additionally
+// returns an error wrapping the stop sentinel; x still holds the best
+// iterate, exactly as on budget exhaustion.
+func (s *System) cg(x, b []float64, tol float64, maxIter, workers int, ws *cgScratch, tok *stop.Token) (bool, error) {
 	n := s.n
 	if n == 0 {
-		return true
+		return true, nil
 	}
 	// Telemetry accumulates locally and records once at exit (registry
 	// methods lock; the CG inner loop must stay lock-free). Counters
@@ -481,12 +553,16 @@ func (s *System) cg(x, b []float64, tol float64, maxIter, workers int, ws *cgScr
 	// last-write gauge because the two axis solves race on it.
 	iters := 0
 	converged := false
+	stopped := false
 	rel := math.Inf(1)
 	if reg := s.obs; reg != nil {
 		defer func() {
 			reg.Add("placer.cg.solves", 1)
 			reg.Add("placer.cg.iters", int64(iters))
-			if !converged {
+			switch {
+			case stopped:
+				reg.Add("placer.cg.canceled", 1)
+			case !converged:
 				reg.Add("placer.cg.stagnated", 1)
 			}
 			reg.Gauge("placer.cg.residual", rel)
@@ -514,11 +590,18 @@ func (s *System) cg(x, b []float64, tol float64, maxIter, workers int, ws *cgScr
 		return acc
 	}, addF)
 	for iter := 0; iter < maxIter; iter++ {
+		if serr := stop.Check(tok, faultinject.SitePlacerCGCancel); serr != nil {
+			stopped = true
+			rcur := math.Sqrt(dot(r, r, workers))
+			rel = rcur / bnorm
+			converged = rcur <= tol*bnorm
+			return converged, fmt.Errorf("placer: conjugate gradients: %w", serr)
+		}
 		rn := dot(r, r, workers)
 		if math.Sqrt(rn) <= tol*bnorm {
 			rel = math.Sqrt(rn) / bnorm
 			converged = true
-			return true
+			return true, nil
 		}
 		s.mulvec(p, ap, workers)
 		pap := dot(p, ap, workers)
@@ -528,7 +611,7 @@ func (s *System) cg(x, b []float64, tol float64, maxIter, workers int, ws *cgScr
 			rcur := math.Sqrt(dot(r, r, workers))
 			rel = rcur / bnorm
 			converged = rcur <= tol*bnorm
-			return converged
+			return converged, nil
 		}
 		alpha := rz / pap
 		par.Chunks(workers, n, vecGrain, func(lo, hi int) {
@@ -558,7 +641,7 @@ func (s *System) cg(x, b []float64, tol float64, maxIter, workers int, ws *cgScr
 	rcur := math.Sqrt(dot(r, r, workers))
 	rel = rcur / bnorm
 	converged = rcur <= tol*bnorm
-	return converged
+	return converged, nil
 }
 
 // SolveQP runs one pure quadratic solve of the system — prepare with the

@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"sync"
+
+	"rotaryclk/internal/assign"
+	"rotaryclk/internal/placer"
+)
+
+// template is the immutable state every job with the same circuit spec can
+// share: the quadratic placement system (forked per job, never solved on
+// directly) and the tapping-solve cache (internally synchronized; keyed per
+// ring-array geometry, which the template key encodes).
+type template struct {
+	sys *placer.System
+	tap *assign.TapCache
+}
+
+// templateCache is a keyed singleflight: the first job for a spec builds
+// the template while every concurrent job for the same spec waits on the
+// entry's ready channel, so an expensive system assembly happens exactly
+// once per spec no matter how many identical jobs arrive together. Failed
+// builds are evicted so a transient failure does not poison the key.
+type templateCache struct {
+	mu sync.Mutex
+	m  map[string]*templateEntry
+}
+
+type templateEntry struct {
+	ready chan struct{} // closed when t/err are set
+	t     *template
+	err   error
+}
+
+func (c *templateCache) init() {
+	c.m = make(map[string]*templateEntry)
+}
+
+// get returns the template for key, building it with build if this is the
+// first request. hit reports whether the template already existed (or was
+// being built by another job) — the caller's build ran only when hit is
+// false and err may be non-nil.
+func (c *templateCache) get(key string, build func() (*template, error)) (t *template, hit bool, err error) {
+	c.mu.Lock()
+	e, ok := c.m[key]
+	if ok {
+		c.mu.Unlock()
+		<-e.ready
+		return e.t, true, e.err
+	}
+	e = &templateEntry{ready: make(chan struct{})}
+	c.m[key] = e
+	c.mu.Unlock()
+
+	e.t, e.err = build()
+	close(e.ready)
+	if e.err != nil {
+		c.mu.Lock()
+		// Evict only our own failed entry: a concurrent retry may already
+		// have replaced it.
+		if c.m[key] == e {
+			delete(c.m, key)
+		}
+		c.mu.Unlock()
+	}
+	return e.t, false, e.err
+}
+
+// Len reports the number of cached templates (testing hook).
+func (c *templateCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

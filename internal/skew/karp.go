@@ -1,9 +1,11 @@
 package skew
 
 import (
+	"fmt"
 	"math"
 
 	"rotaryclk/internal/faultinject"
+	"rotaryclk/internal/stop"
 )
 
 // MinCycleMean computes the minimum mean weight over all directed cycles of
@@ -17,8 +19,15 @@ import (
 // M=0 constraint graph (the classic Albrecht/Korte/Schietke/Vygen view of
 // cycle-time optimization).
 func MinCycleMean(n int, cons []DiffConstraint) float64 {
+	m, _ := minCycleMean(nil, n, cons)
+	return m
+}
+
+// minCycleMean is MinCycleMean with a cooperative stop token checked once
+// per DP row (each row is O(m) work).
+func minCycleMean(tok *stop.Token, n int, cons []DiffConstraint) (float64, error) {
 	if n == 0 || len(cons) == 0 {
-		return math.Inf(1)
+		return math.Inf(1), nil
 	}
 	type edge struct {
 		from, to int
@@ -41,6 +50,9 @@ func MinCycleMean(n int, cons []DiffConstraint) float64 {
 	rows := make([][]float64, n+1)
 	rows[0] = make([]float64, n) // zeros
 	for k := 1; k <= n; k++ {
+		if err := stop.Check(tok, faultinject.SiteSkewIterCancel); err != nil {
+			return 0, fmt.Errorf("skew: cycle-mean DP: %w", err)
+		}
 		for v := range cur {
 			cur[v] = inf
 		}
@@ -83,7 +95,7 @@ func MinCycleMean(n int, cons []DiffConstraint) float64 {
 			best = worst
 		}
 	}
-	return best
+	return best, nil
 }
 
 // MaxSlackExact computes the maximum slack directly as the minimum cycle
@@ -92,11 +104,23 @@ func MinCycleMean(n int, cons []DiffConstraint) float64 {
 // and is asymptotically faster (one O(n*m) pass instead of O(log(1/eps))
 // Bellman-Ford runs).
 func MaxSlackExact(n int, pairs []SeqPair, T, setup, hold float64) (float64, []float64, error) {
+	return MaxSlackExactStop(nil, n, pairs, T, setup, hold)
+}
+
+// MaxSlackExactStop is MaxSlackExact with a cooperative stop token, checked
+// once per Karp DP row and once per Bellman-Ford round of the recovery
+// probes. A fired token aborts with an error wrapping the stop sentinel; no
+// partial schedule is returned (the caller keeps its previous schedule as
+// the best-so-far).
+func MaxSlackExactStop(tok *stop.Token, n int, pairs []SeqPair, T, setup, hold float64) (float64, []float64, error) {
 	if err := faultinject.Hook(faultinject.SiteSkewMaxSlack); err != nil {
 		return 0, nil, err
 	}
 	base := Constraints(pairs, T, 0, setup, hold)
-	m := MinCycleMean(n, base)
+	m, err := minCycleMean(tok, n, base)
+	if err != nil {
+		return 0, nil, err
+	}
 	if math.IsInf(m, 1) {
 		m = T // acyclic constraint graph: slack capped like MaxSlack's hi
 	}
@@ -104,10 +128,14 @@ func MaxSlackExact(n int, pairs []SeqPair, T, setup, hold float64) (float64, []f
 	// covers naturally; still, guard the recovered schedule with a
 	// feasibility check, backing off by a tiny epsilon for float safety.
 	for _, eps := range []float64{0, 1e-9, 1e-6, 1e-3} {
-		if t, ok := Feasible(n, Constraints(pairs, T, m-eps, setup, hold)); ok {
+		t, ok, err := feasible(tok, n, Constraints(pairs, T, m-eps, setup, hold))
+		if err != nil {
+			return 0, nil, err
+		}
+		if ok {
 			return m - eps, t, nil
 		}
 	}
 	// Extremely ill-conditioned input: fall back to the binary search.
-	return MaxSlack(n, pairs, T, setup, hold, 1e-6)
+	return MaxSlackStop(tok, n, pairs, T, setup, hold, 1e-6)
 }

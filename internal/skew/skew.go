@@ -28,6 +28,7 @@ import (
 
 	"rotaryclk/internal/faultinject"
 	"rotaryclk/internal/mcmf"
+	"rotaryclk/internal/stop"
 )
 
 // ErrInfeasible marks schedules that do not exist: the difference-constraint
@@ -82,10 +83,22 @@ const Eps = 1e-9
 // every constraint to within Eps. Constraints referencing variables outside
 // [0,n) cause a panic.
 func Feasible(n int, cons []DiffConstraint) ([]float64, bool) {
+	t, ok, _ := feasible(nil, n, cons)
+	return t, ok
+}
+
+// feasible is Feasible with a cooperative stop token checked once per
+// Bellman-Ford round (each round is O(m) work). A fired token abandons the
+// relaxation and reports the stop error; the partial distance vector is not
+// a certificate and is discarded.
+func feasible(tok *stop.Token, n int, cons []DiffConstraint) ([]float64, bool, error) {
 	// Virtual source with zero-weight edges to every node is equivalent to
 	// initializing all distances to zero.
 	dist := make([]float64, n)
 	for iter := 0; iter <= n; iter++ {
+		if err := stop.Check(tok, faultinject.SiteSkewIterCancel); err != nil {
+			return nil, false, fmt.Errorf("skew: feasibility check: %w", err)
+		}
 		changed := false
 		for _, c := range cons {
 			if c.U < 0 || c.U >= n || c.V < 0 || c.V >= n {
@@ -99,10 +112,10 @@ func Feasible(n int, cons []DiffConstraint) ([]float64, bool) {
 		}
 		if !changed {
 			normalize(dist)
-			return dist, true
+			return dist, true, nil
 		}
 	}
-	return nil, false
+	return nil, false, nil
 }
 
 func normalize(t []float64) {
@@ -125,6 +138,13 @@ func normalize(t []float64) {
 // formulation (5)-(7) of the paper). The slack is found by binary search to
 // tol; Bellman-Ford provides each feasibility certificate.
 func MaxSlack(n int, pairs []SeqPair, T, setup, hold, tol float64) (float64, []float64, error) {
+	return MaxSlackStop(nil, n, pairs, T, setup, hold, tol)
+}
+
+// MaxSlackStop is MaxSlack with a cooperative stop token; the token is
+// checked once per Bellman-Ford round of every feasibility probe, so a fired
+// deadline surfaces within one O(m) pass.
+func MaxSlackStop(tok *stop.Token, n int, pairs []SeqPair, T, setup, hold, tol float64) (float64, []float64, error) {
 	if tol <= 0 {
 		tol = 1e-3
 	}
@@ -134,7 +154,11 @@ func MaxSlack(n int, pairs []SeqPair, T, setup, hold, tol float64) (float64, []f
 	// design that cannot close timing at this period.
 	lo, hi := -T, T
 	for {
-		if _, ok := Feasible(n, Constraints(pairs, T, lo, setup, hold)); ok {
+		_, ok, err := feasible(tok, n, Constraints(pairs, T, lo, setup, hold))
+		if err != nil {
+			return 0, nil, err
+		}
+		if ok {
 			break
 		}
 		lo *= 2
@@ -143,19 +167,30 @@ func MaxSlack(n int, pairs []SeqPair, T, setup, hold, tol float64) (float64, []f
 		}
 	}
 	var bestT []float64
-	if t, ok := Feasible(n, Constraints(pairs, T, hi, setup, hold)); ok {
+	t, ok, err := feasible(tok, n, Constraints(pairs, T, hi, setup, hold))
+	if err != nil {
+		return 0, nil, err
+	}
+	if ok {
 		return hi, t, nil
 	}
 	for hi-lo > tol {
 		mid := (lo + hi) / 2
-		if t, ok := Feasible(n, Constraints(pairs, T, mid, setup, hold)); ok {
+		t, ok, err := feasible(tok, n, Constraints(pairs, T, mid, setup, hold))
+		if err != nil {
+			return 0, nil, err
+		}
+		if ok {
 			lo, bestT = mid, t
 		} else {
 			hi = mid
 		}
 	}
 	if bestT == nil {
-		t, ok := Feasible(n, Constraints(pairs, T, lo, setup, hold))
+		t, ok, err := feasible(tok, n, Constraints(pairs, T, lo, setup, hold))
+		if err != nil {
+			return 0, nil, err
+		}
 		if !ok {
 			return 0, nil, fmt.Errorf("skew: internal: feasible lower bound lost")
 		}
@@ -181,6 +216,12 @@ type Anchor struct {
 // It binary-searches Delta, checking feasibility of the extended constraint
 // graph (a ground node pins the absolute values).
 func MinDelta(n int, cons []DiffConstraint, anchors []Anchor, tol float64) (float64, []float64, error) {
+	return MinDeltaStop(nil, n, cons, anchors, tol)
+}
+
+// MinDeltaStop is MinDelta with a cooperative stop token threaded into every
+// feasibility probe of the Delta binary search.
+func MinDeltaStop(tok *stop.Token, n int, cons []DiffConstraint, anchors []Anchor, tol float64) (float64, []float64, error) {
 	if err := faultinject.Hook(faultinject.SiteSkewMinDelta); err != nil {
 		return 0, nil, err
 	}
@@ -191,7 +232,10 @@ func MinDelta(n int, cons []DiffConstraint, anchors []Anchor, tol float64) (floa
 		tol = 1e-3
 	}
 	// Base feasibility (Delta = inf) and an initial schedule to bound Delta.
-	t0, ok := Feasible(n, cons)
+	t0, ok, err := feasible(tok, n, cons)
+	if err != nil {
+		return 0, nil, err
+	}
 	if !ok {
 		return 0, nil, fmt.Errorf("skew: difference constraints: %w", ErrInfeasible)
 	}
@@ -227,7 +271,11 @@ func MinDelta(n int, cons []DiffConstraint, anchors []Anchor, tol float64) (floa
 	var best []float64
 	for hi-lo > tol {
 		mid := (lo + hi) / 2
-		if t, ok := Feasible(n+1, build(mid)); ok {
+		t, ok, err := feasible(tok, n+1, build(mid))
+		if err != nil {
+			return 0, nil, err
+		}
+		if ok {
 			hi = mid
 			best = rebase(t)
 		} else {
@@ -235,7 +283,10 @@ func MinDelta(n int, cons []DiffConstraint, anchors []Anchor, tol float64) (floa
 		}
 	}
 	if best == nil {
-		t, ok := Feasible(n+1, build(hi))
+		t, ok, err := feasible(tok, n+1, build(hi))
+		if err != nil {
+			return 0, nil, err
+		}
 		if !ok {
 			return 0, nil, fmt.Errorf("skew: internal: upper bound infeasible")
 		}
@@ -285,16 +336,25 @@ func bestShift(t []float64, anchors []Anchor) float64 {
 // flip-flop exchanges up to w_i units with a ground node at cost +-target_i.
 // Optimal node potentials of the residual network recover the schedule.
 func WeightedSum(n int, cons []DiffConstraint, targets []float64, weights []float64) (float64, []float64, error) {
+	return WeightedSumStop(nil, n, cons, targets, weights)
+}
+
+// WeightedSumStop is WeightedSum with a cooperative stop token threaded into
+// the base feasibility probe and the min-cost circulation.
+func WeightedSumStop(tok *stop.Token, n int, cons []DiffConstraint, targets []float64, weights []float64) (float64, []float64, error) {
 	if err := faultinject.Hook(faultinject.SiteSkewWeightedSum); err != nil {
 		return 0, nil, err
 	}
 	if len(targets) != n || len(weights) != n {
 		return 0, nil, fmt.Errorf("skew: targets/weights length mismatch")
 	}
-	if _, ok := Feasible(n, cons); !ok {
+	if _, ok, err := feasible(tok, n, cons); err != nil {
+		return 0, nil, err
+	} else if !ok {
 		return 0, nil, fmt.Errorf("skew: difference constraints: %w", ErrInfeasible)
 	}
 	g := mcmf.NewGraph(n + 1)
+	g.Stop = tok
 	ground := n
 	wi := make([]int, n)
 	total := 0

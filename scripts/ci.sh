@@ -6,6 +6,10 @@
 #   scripts/ci.sh race    go test -race over every package (parallel kernels)
 #   scripts/ci.sh fuzz    smoke-fuzz every Fuzz target (10s each) on top of
 #                         the checked-in corpora under testdata/fuzz/
+#   scripts/ci.sh serve   end-to-end daemon smoke: rotaryd under rotaryload
+#                         (concurrent jobs, zero failures), a deadline-bound
+#                         oversized job that must degrade within its budget,
+#                         and SIGTERM -> graceful drain -> exit 0
 #   scripts/ci.sh bench   run the benchmark suite with -benchmem and record
 #                         it as BENCH_baseline.json so future PRs have a
 #                         perf trajectory to compare against
@@ -64,6 +68,35 @@ fuzz)
     go test ./internal/netlist/ -fuzz '^FuzzParseBench$' -fuzztime "$fuzztime"
     go test ./internal/rotary/ -fuzz '^FuzzSolveTap$' -fuzztime "$fuzztime"
     go test ./internal/lp/ -fuzz '^FuzzILPRound$' -fuzztime "$fuzztime"
+    go test ./internal/serve/ -fuzz '^FuzzParseJobRequest$' -fuzztime "$fuzztime"
+    ;;
+serve)
+    # End-to-end daemon smoke: build rotaryd + rotaryload, drive a small
+    # concurrent load (zero failures tolerated), prove a deadline-bound big
+    # job degrades instead of stalling, then SIGTERM mid-life and require a
+    # clean drain (exit 0).
+    bin="$(mktemp -d)"
+    trap 'rm -rf "$bin"' EXIT
+    go build -o "$bin/rotaryd" ./cmd/rotaryd
+    go build -o "$bin/rotaryload" ./cmd/rotaryload
+    "$bin/rotaryd" -addr 127.0.0.1:0 -addr-file "$bin/addr" -queue 16 -workers 2 &
+    pid=$!
+    i=0
+    while [ ! -s "$bin/addr" ]; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "rotaryd never wrote its address" >&2
+            kill "$pid" 2>/dev/null || true
+            exit 1
+        fi
+        sleep 0.1
+    done
+    addr="$(cat "$bin/addr")"
+    "$bin/rotaryload" -addr "$addr" -n 12 -c 8 -cells 800 -iters 2 -seed 1
+    "$bin/rotaryload" -addr "$addr" -n 2 -c 2 -cells 20000 -iters 2 -deadline-ms 200 -max-p99-ms 5000 -seed 99
+    kill -TERM "$pid"
+    wait "$pid"
+    echo "serve smoke: load + deadline degradation + graceful drain ok"
     ;;
 oracle)
     seeds="${SEEDS:-25}"
@@ -194,7 +227,7 @@ cover)
     fi
     ;;
 *)
-    echo "usage: scripts/ci.sh {test|race|fuzz|bench|benchcmp|scaling|oracle|golden|cover}" >&2
+    echo "usage: scripts/ci.sh {test|race|fuzz|serve|bench|benchcmp|scaling|oracle|golden|cover}" >&2
     exit 2
     ;;
 esac
