@@ -1,10 +1,10 @@
 # Tier-1 gate, race gate, fuzz smoke, benchmark baseline, placer perf
-# comparison, differential-oracle campaign, golden tables, and coverage
-# gate. See scripts/ci.sh. `make ci` chains the deterministic gates.
+# comparison, differential-oracle campaign, ECO smoke, golden tables, and
+# coverage gate. See scripts/ci.sh. `make ci` chains the deterministic gates.
 
 SEEDS ?= 25
 
-.PHONY: test race fuzz serve bench benchcmp scaling scaling-smoke oracle golden cover ci
+.PHONY: test race fuzz serve bench benchcmp scaling scaling-smoke eco eco-bench oracle golden cover ci
 
 test:
 	sh scripts/ci.sh test
@@ -33,6 +33,17 @@ scaling:
 scaling-smoke:
 	sh scripts/ci.sh scaling
 
+# ECO smoke: 20 random edits at 20k cells, each proven equivalent to the
+# from-scratch arm, mean edit latency >= 5x a full re-run.
+eco:
+	sh scripts/ci.sh eco
+
+# ECO headline row: 50k cells, 20 edits, >= 10x -> BENCH_scaling.json eco
+# section.
+eco-bench:
+	go run ./cmd/rotaryscale -eco -eco-cells 50000 -eco-edits 20 \
+		-eco-min-speedup 10 -out BENCH_scaling.json
+
 oracle:
 	SEEDS=$(SEEDS) sh scripts/ci.sh oracle
 
@@ -42,4 +53,4 @@ golden:
 cover:
 	sh scripts/ci.sh cover
 
-ci: test race golden oracle serve cover
+ci: test race golden oracle serve eco cover

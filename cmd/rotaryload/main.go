@@ -7,9 +7,14 @@
 //
 //	rotaryload -addr localhost:8080 -n 32 -c 8 -cells 1500 -deadline-ms 2000
 //	rotaryload -addr localhost:8080 -n 100 -rps 20
+//	rotaryload -addr localhost:8080 -eco -n 64 -cells 1500 -eco-deltas 4
 //
 // Job specs are derived deterministically from -seed (job i uses seed
 // seed+i), so two runs against equivalent servers issue identical work.
+// With -eco the driver instead replays incremental edits against /v1/eco:
+// every request targets the same circuit spec (seed alone), so the server
+// builds the base state once and serves the rest from its warm cache, and
+// request i carries a deterministic random delta batch drawn from seed+i.
 // With -rps 0 (default) the driver runs closed-loop at -c concurrent
 // requests; with -rps > 0 it launches open-loop at that rate. 429 (shed)
 // responses count as shed, not failures: shedding under overload is the
@@ -24,11 +29,15 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"sort"
 	"sync"
 	"time"
+
+	"rotaryclk/internal/eco"
+	"rotaryclk/internal/netlist"
 )
 
 type jobResult struct {
@@ -56,6 +65,8 @@ func run() int {
 		seed       = flag.Int64("seed", 1, "base circuit seed; job i uses seed+i")
 		maxP99MS   = flag.Float64("max-p99-ms", 0, "fail if completed-job p99 exceeds this (0 = no bound)")
 		timeout    = flag.Duration("timeout", 2*time.Minute, "per-request HTTP timeout")
+		ecoMode    = flag.Bool("eco", false, "replay incremental edits against /v1/eco instead of full jobs")
+		ecoDeltas  = flag.Int("eco-deltas", 4, "deltas per ECO request (with -eco)")
 	)
 	flag.Parse()
 	if *ffs <= 0 {
@@ -65,17 +76,50 @@ func run() int {
 		}
 	}
 
+	// In ECO mode every request edits the same base spec, so the delta
+	// batches are drawn client-side against one pristine generated circuit
+	// (the base flow never changes netlist structure, so batch validity
+	// carries over to the server's placed clone).
+	var deltaBatches [][]eco.Delta
+	if *ecoMode {
+		c, err := netlist.Generate(netlist.GenSpec{
+			Name: "load", Cells: *cells, FlipFlops: *ffs, Seed: *seed,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rotaryload: generate:", err)
+			return 1
+		}
+		deltaBatches = make([][]eco.Delta, *n)
+		for i := range deltaBatches {
+			rng := rand.New(rand.NewSource(*seed + int64(i)*7919))
+			deltaBatches[i] = eco.RandomDeltas(rng, c, *rings, *ecoDeltas)
+			if len(deltaBatches[i]) == 0 {
+				fmt.Fprintf(os.Stderr, "rotaryload: no legal deltas for request %d\n", i)
+				return 1
+			}
+		}
+	}
+
 	client := &http.Client{Timeout: *timeout}
 	url := fmt.Sprintf("http://%s/v1/jobs", *addr)
+	if *ecoMode {
+		url = fmt.Sprintf("http://%s/v1/eco", *addr)
+	}
 	results := make([]jobResult, *n)
 
 	issue := func(i int) {
-		body, _ := json.Marshal(map[string]any{
-			"circuit":     map[string]any{"cells": *cells, "flipflops": *ffs, "seed": *seed + int64(i)},
+		circuitSeed := *seed + int64(i)
+		payload := map[string]any{
+			"circuit":     map[string]any{"cells": *cells, "flipflops": *ffs, "seed": circuitSeed},
 			"rings":       *rings,
 			"iters":       *iters,
 			"deadline_ms": *deadlineMS,
-		})
+		}
+		if *ecoMode {
+			payload["circuit"] = map[string]any{"cells": *cells, "flipflops": *ffs, "seed": *seed}
+			payload["deltas"] = deltaBatches[i]
+		}
+		body, _ := json.Marshal(payload)
 		start := time.Now()
 		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
 		if err != nil {

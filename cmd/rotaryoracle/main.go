@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	rotaryoracle [-seeds 200] [-seed0 1] [-repros testdata/repros] [-fullflow 10] [-v]
+//	rotaryoracle [-seeds 200] [-seed0 1] [-repros testdata/repros] [-fullflow 10] [-eco 5] [-v]
 //
 // Exits 0 when every check passes, 1 on any violation (after writing the
 // shrunk repros), 2 on a driver error.
@@ -28,6 +28,7 @@ func run() int {
 		seed0    = flag.Int64("seed0", 1, "first seed of the campaign")
 		repros   = flag.String("repros", "testdata/repros", "directory for minimized failure repros")
 		fullflow = flag.Int("fullflow", 10, "run the full-flow translation check every k-th seed (<0 disables)")
+		ecoEvery = flag.Int("eco", 5, "run the ECO-vs-scratch differential check every k-th seed (<0 disables)")
 		verbose  = flag.Bool("v", false, "log every violation and periodic progress")
 	)
 	flag.Parse()
@@ -41,6 +42,7 @@ func run() int {
 		Seed0:         *seed0,
 		ReproDir:      *repros,
 		FullFlowEvery: *fullflow,
+		ECOEvery:      *ecoEvery,
 	}
 	if *verbose {
 		opts.Log = func(format string, args ...any) {

@@ -4,16 +4,25 @@
 // per stage to a JSON report (BENCH_scaling.json by convention; rendered by
 // `scripts/ci.sh benchcmp`).
 //
+// With -eco it instead runs the ECO edit-latency benchmark — a base flow at
+// -eco-cells, then -eco-edits random edit batches through core.ApplyECO,
+// timed against a full from-scratch re-run — and merges the row into the
+// report's eco section, leaving the sweep points untouched.
+//
 // Usage:
 //
 //	rotaryscale [-sizes 1024,4096,...] [-out BENCH_scaling.json] [-seed 1]
 //	            [-spread 8] [-p 0]
+//	rotaryscale -eco [-eco-cells 50000] [-eco-edits 20] [-eco-deltas 1]
+//	            [-eco-check] [-eco-min-speedup 0] [-out BENCH_scaling.json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -27,8 +36,19 @@ func main() {
 		seed   = flag.Int64("seed", 1, "generator seed")
 		spread = flag.Int("spread", 8, "global-placement spreading rounds per point")
 		par    = flag.Int("p", 0, "parallelism (0 = GOMAXPROCS)")
+
+		ecoMode    = flag.Bool("eco", false, "run the ECO edit-latency benchmark instead of the sweep")
+		ecoCells   = flag.Int("eco-cells", 50000, "circuit size for the ECO benchmark")
+		ecoEdits   = flag.Int("eco-edits", 20, "sequential edit batches to apply")
+		ecoDeltas  = flag.Int("eco-deltas", 1, "deltas per edit batch")
+		ecoCheck   = flag.Bool("eco-check", false, "verify patch-vs-scratch equivalence after every edit")
+		ecoSpeedup = flag.Float64("eco-min-speedup", 0, "exit nonzero if the eco-vs-rerun speedup falls below this (0 = no bound)")
 	)
 	flag.Parse()
+
+	if *ecoMode {
+		os.Exit(runECO(*out, *seed, *par, *ecoCells, *ecoEdits, *ecoDeltas, *ecoCheck, *ecoSpeedup))
+	}
 
 	opt := bench.ScalingOptions{
 		Seed:        *seed,
@@ -59,4 +79,45 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s (%d points)\n", *out, len(rep.Points))
+}
+
+// runECO executes the edit-latency benchmark and merges the row into the
+// report at path, preserving any recorded sweep points.
+func runECO(path string, seed int64, par, cells, edits, deltas int, check bool, minSpeedup float64) int {
+	pt, err := bench.RunECOBench(bench.ECOOptions{
+		Cells:         cells,
+		Edits:         edits,
+		DeltasPerEdit: deltas,
+		Seed:          seed,
+		Parallelism:   par,
+		Check:         check,
+		Log: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rotaryscale:", err)
+		return 1
+	}
+
+	rep := &bench.ScalingReport{Schema: "rotaryclk-scaling/v1", Seed: seed, GoMaxProcs: runtime.GOMAXPROCS(0)}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, rep); err != nil {
+			fmt.Fprintf(os.Stderr, "rotaryscale: existing %s does not parse: %v\n", path, err)
+			return 1
+		}
+	}
+	rep.SetECOPoint(*pt)
+	if err := rep.WriteJSON(path); err != nil {
+		fmt.Fprintln(os.Stderr, "rotaryscale:", err)
+		return 1
+	}
+	fmt.Printf("eco @ %d cells: %.1fx speedup (eco mean %.2f ms vs full re-run %.0f ms, %.2f%% dirty, checked=%v); merged into %s\n",
+		pt.Cells, pt.Speedup, float64(pt.EcoMeanNS)/1e6, float64(pt.FullNS)/1e6,
+		100*pt.DirtyCellFrac, pt.Checked, path)
+	if minSpeedup > 0 && pt.Speedup < minSpeedup {
+		fmt.Fprintf(os.Stderr, "rotaryscale: speedup %.1fx below the required %.1fx\n", pt.Speedup, minSpeedup)
+		return 1
+	}
+	return 0
 }

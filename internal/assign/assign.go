@@ -73,6 +73,13 @@ type Problem struct {
 	// exceeds it (Section III's stub-length limit), always keeping each
 	// flip-flop's three cheapest arcs so the assignment stays feasible.
 	MaxStub float64
+	// Pin, when non-empty, pins flip-flop i to ring Pin[i]; an entry of -1
+	// leaves that flip-flop free. A pinned flip-flop's candidate row is
+	// restricted to the pinned ring (its tapping solve must still succeed,
+	// or TapFallback rescue it, for the instance to stay feasible). This is
+	// how the ECO RetargetRing delta forces a re-assignment. Length must be
+	// 0 or len(FFs).
+	Pin []int
 	// Parallelism bounds the workers building the FF×ring candidate matrix
 	// (each tapping solve is independent): 0 = GOMAXPROCS, 1 = serial.
 	// The result is identical for every value.
@@ -138,6 +145,16 @@ func (p *Problem) normalize() error {
 		}
 	} else if len(p.Capacity) != len(p.Array.Rings) {
 		return fmt.Errorf("assign: %d capacities for %d rings", len(p.Capacity), len(p.Array.Rings))
+	}
+	if len(p.Pin) != 0 {
+		if len(p.Pin) != len(p.FFs) {
+			return fmt.Errorf("assign: %d pins for %d flip-flops", len(p.Pin), len(p.FFs))
+		}
+		for i, j := range p.Pin {
+			if j >= len(p.Array.Rings) {
+				return fmt.Errorf("assign: flip-flop %d pinned to ring %d of %d", i, j, len(p.Array.Rings))
+			}
+		}
 	}
 	total := 0
 	for _, u := range p.Capacity {
@@ -222,6 +239,9 @@ func (p *Problem) candidates() ([][]candidate, error) {
 		}
 		ff := p.FFs[i]
 		rings := p.Array.NearestRings(ff.Pos, p.K)
+		if len(p.Pin) > 0 && p.Pin[i] >= 0 {
+			rings = []int{p.Pin[i]}
+		}
 		row := arena[i*p.K : i*p.K : (i+1)*p.K]
 		for _, j := range rings {
 			tap, ok := p.solveTap(j, ff.Pos, ff.Target)

@@ -1,0 +1,231 @@
+package assign
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"rotaryclk/internal/faultinject"
+	"rotaryclk/internal/geom"
+	"rotaryclk/internal/obs"
+	"rotaryclk/internal/stop"
+)
+
+// TestPatchMinCostMatchesScratch is the patch's optimality contract: warm
+// starting from a previous optimum with a few flip-flops perturbed must land
+// on the same total cost as a scratch solve of the edited instance.
+func TestPatchMinCostMatchesScratch(t *testing.T) {
+	p := testProblem(t, 60, 11)
+	base, err := MinCost(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Edit: move 3 flip-flops across the die and mark them dirty.
+	edited := testProblem(t, 60, 11)
+	dirty := []int{5, 17, 42}
+	for _, i := range dirty {
+		edited.FFs[i].Pos = geom.Pt(4000-edited.FFs[i].Pos.X, 4000-edited.FFs[i].Pos.Y)
+	}
+
+	scratchP := testProblem(t, 60, 11)
+	for _, i := range dirty {
+		scratchP.FFs[i].Pos = edited.FFs[i].Pos
+	}
+	want, err := MinCost(scratchP)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := PatchMinCost(edited, base.Ring, dirty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Total-want.Total) > 1e-6*math.Max(1, math.Abs(want.Total)) {
+		t.Fatalf("patched total %v != scratch total %v", got.Total, want.Total)
+	}
+	checkAssignment(t, edited, got)
+}
+
+// TestPatchMinCostAllClean: no dirty flip-flops and an unchanged instance is
+// pure preload — zero augmentations, and the exact previous totals.
+func TestPatchMinCostAllClean(t *testing.T) {
+	p := testProblem(t, 40, 23)
+	base, err := MinCost(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	p2 := testProblem(t, 40, 23)
+	p2.Obs = reg
+	got, err := PatchMinCost(p2, base.Ring, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Total-base.Total) > 1e-9 {
+		t.Fatalf("clean patch total %v != base %v", got.Total, base.Total)
+	}
+	if n := reg.Counter("assign.patch.preloaded"); n != 40 {
+		t.Errorf("preloaded = %d, want 40", n)
+	}
+	if n := reg.Counter("assign.patch.dirty"); n != 0 {
+		t.Errorf("dirty = %d, want 0", n)
+	}
+}
+
+// TestPatchMinCostStalePrior: a clean flip-flop whose previous ring is no
+// longer among its candidates (or out of range) silently demotes to dirty.
+func TestPatchMinCostStalePrior(t *testing.T) {
+	p := testProblem(t, 30, 31)
+	base, err := MinCost(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := MinCost(testProblem(t, 30, 31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := append([]int(nil), base.Ring...)
+	prev[0] = -1   // no prior
+	prev[1] = 9999 // out of range
+	p2 := testProblem(t, 30, 31)
+	reg := obs.NewRegistry()
+	p2.Obs = reg
+	got, err := PatchMinCost(p2, prev, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Total-want.Total) > 1e-6 {
+		t.Fatalf("total %v != scratch %v", got.Total, want.Total)
+	}
+	if n := reg.Counter("assign.patch.dirty"); n != 2 {
+		t.Errorf("dirty = %d, want 2", n)
+	}
+}
+
+// TestPatchMinCostRespectsPin: pinning a flip-flop to a new ring and marking
+// it dirty re-routes it there, and the patched cost matches a scratch solve
+// with the same pin.
+func TestPatchMinCostRespectsPin(t *testing.T) {
+	p := testProblem(t, 25, 7)
+	base, err := MinCost(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pin FF 3 to a ring it was not on.
+	target := (base.Ring[3] + 1) % 9
+	pin := make([]int, 25)
+	for i := range pin {
+		pin[i] = -1
+	}
+	pin[3] = target
+
+	scratchP := testProblem(t, 25, 7)
+	scratchP.Pin = pin
+	scratchP.TapFallback = true
+	want, err := MinCost(scratchP)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p2 := testProblem(t, 25, 7)
+	p2.Pin = pin
+	p2.TapFallback = true
+	got, err := PatchMinCost(p2, base.Ring, []int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Ring[3] != target {
+		t.Fatalf("pinned flip-flop on ring %d, want %d", got.Ring[3], target)
+	}
+	if math.Abs(got.Total-want.Total) > 1e-6*math.Max(1, want.Total) {
+		t.Fatalf("total %v != scratch %v", got.Total, want.Total)
+	}
+}
+
+// TestPatchMinCostCorruptionSite: the assign.patch fault site silently
+// degrades the answer without erroring — the failure mode only a
+// differential oracle can see.
+func TestPatchMinCostCorruptionSite(t *testing.T) {
+	p := testProblem(t, 30, 47)
+	base, err := MinCost(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer faultinject.Enable(faultinject.Rule{
+		Site: faultinject.SiteAssignPatch, Err: errors.New("corrupt"),
+	})()
+	p2 := testProblem(t, 30, 47)
+	got, err := PatchMinCost(p2, base.Ring, nil)
+	if err != nil {
+		t.Fatalf("corruption must be silent, got error %v", err)
+	}
+	if got.Total <= base.Total+1e-9 {
+		t.Fatalf("corrupted total %v not worse than optimum %v", got.Total, base.Total)
+	}
+}
+
+// TestPatchMinCostInfeasibleAndStop: capacity shortfalls report
+// ErrInfeasible; a fired stop token aborts with a stop error.
+func TestPatchMinCostInfeasibleAndStop(t *testing.T) {
+	p := testProblem(t, 20, 3)
+	base, err := MinCost(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bad := testProblem(t, 20, 3)
+	bad.Capacity = make([]int, 9)
+	if _, err := PatchMinCost(bad, base.Ring, nil); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("zero capacity: err = %v, want ErrInfeasible", err)
+	}
+
+	stopped := testProblem(t, 20, 3)
+	tok, cancel := stop.WithTimeout(-time.Second)
+	defer cancel()
+	stopped.Stop = tok
+	if _, err := PatchMinCost(stopped, base.Ring, nil); !stop.IsStop(err) {
+		t.Fatalf("expired token: err = %v, want stop error", err)
+	}
+}
+
+// TestPatchMinCostPrevRingLengthMismatch rejects a stale prior vector.
+func TestPatchMinCostPrevRingLengthMismatch(t *testing.T) {
+	p := testProblem(t, 10, 5)
+	if _, err := PatchMinCost(p, make([]int, 3), nil); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+// TestPinnedCandidatesRestrict: the Pin field restricts a flip-flop's
+// candidate row to the pinned ring through the normal MinCost path too.
+func TestPinnedCandidatesRestrict(t *testing.T) {
+	p := testProblem(t, 15, 13)
+	pin := make([]int, 15)
+	for i := range pin {
+		pin[i] = -1
+	}
+	pin[7] = 4
+	p.Pin = pin
+	p.TapFallback = true
+	a, err := MinCost(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Ring[7] != 4 {
+		t.Fatalf("pinned flip-flop assigned ring %d, want 4", a.Ring[7])
+	}
+	// Bad pin index is rejected by normalize.
+	p2 := testProblem(t, 15, 13)
+	p2.Pin = []int{0}
+	if _, err := MinCost(p2); err == nil {
+		t.Fatal("pin length mismatch accepted")
+	}
+	p3 := testProblem(t, 15, 13)
+	p3.Pin = make([]int, 15)
+	p3.Pin[0] = 99
+	if _, err := MinCost(p3); err == nil {
+		t.Fatal("out-of-range pin accepted")
+	}
+}

@@ -84,6 +84,23 @@ type ScalingReport struct {
 	SpreadIters int          `json:"spread_iters"`
 	GoMaxProcs  int          `json:"gomaxprocs"`
 	Points      []ScalePoint `json:"points"`
+
+	// ECO holds the edit-latency benchmark rows (cmd/rotaryscale -eco),
+	// recorded alongside the sweep: incremental re-optimization vs a full
+	// re-run at the same size.
+	ECO []ECOPoint `json:"eco,omitempty"`
+}
+
+// SetECOPoint merges one edit-latency row into the report, replacing any
+// prior row at the same cell count so re-runs update in place.
+func (r *ScalingReport) SetECOPoint(pt ECOPoint) {
+	for i := range r.ECO {
+		if r.ECO[i].Cells == pt.Cells {
+			r.ECO[i] = pt
+			return
+		}
+	}
+	r.ECO = append(r.ECO, pt)
 }
 
 // ringsFor picks the rotary array size for a sweep point: ring counts grow

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"rotaryclk/internal/eco"
+	"rotaryclk/internal/geom"
+)
+
+// TestApplyECORoundTrip captures a completed run as ECO state, absorbs one
+// flip-flop move, and checks the outcome carries re-measured metrics for the
+// edited design.
+func TestApplyECORoundTrip(t *testing.T) {
+	c := genCircuit(t, 80, 12, 5)
+	cfg := Config{NumRings: 4, MaxIters: 2, Parallelism: 1}
+	res, err := Run(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degraded {
+		t.Fatalf("base run degraded: %v", res.Events)
+	}
+	st, err := NewECOState(c, cfg, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := res.FFCells[0]
+	mid := geom.Pt(
+		c.Die.Lo.X+c.Die.W()/2,
+		c.Die.Lo.Y+c.Die.H()/2,
+	)
+	out, err := ApplyECO(st, []eco.Delta{{Op: eco.OpMoveFF, Cell: id, X: mid.X, Y: mid.Y}}, cfg, eco.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Outcome.Degraded {
+		t.Fatalf("edit degraded: %v", out.Outcome.Events)
+	}
+	if out.Outcome.Deltas != 1 || out.Outcome.NoOps != 0 {
+		t.Errorf("applied %d deltas, %d noops, want 1/0", out.Outcome.Deltas, out.Outcome.NoOps)
+	}
+	if p := c.Cells[id].Pos; p != mid {
+		t.Errorf("flip-flop %d at %v, want %v", id, p, mid)
+	}
+	if out.Final.TotalWL <= 0 || out.Final.TapWL <= 0 {
+		t.Errorf("final metrics not re-measured: %+v", out.Final)
+	}
+	if st.Assign == nil || st.Assign.Total != out.Outcome.Total {
+		t.Errorf("state assignment out of step with outcome")
+	}
+}
+
+// TestNewECOStateRejectsIncomplete pins the seeding contract: only a
+// completed result with a consistent assignment can become ECO state.
+func TestNewECOStateRejectsIncomplete(t *testing.T) {
+	c := genCircuit(t, 80, 12, 5)
+	cfg := Config{NumRings: 4, MaxIters: 2, Parallelism: 1}
+	res, err := Run(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := NewECOState(c, cfg, nil); err == nil ||
+		!strings.Contains(err.Error(), "completed result") {
+		t.Errorf("nil result: err = %v", err)
+	}
+
+	noAsg := *res
+	noAsg.Assign = nil
+	if _, err := NewECOState(c, cfg, &noAsg); err == nil ||
+		!strings.Contains(err.Error(), "completed result") {
+		t.Errorf("missing assignment: err = %v", err)
+	}
+
+	skewed := *res
+	skewed.Schedule = res.Schedule[:len(res.Schedule)-1]
+	if _, err := NewECOState(c, cfg, &skewed); err == nil ||
+		!strings.Contains(err.Error(), "out of step") {
+		t.Errorf("truncated schedule: err = %v", err)
+	}
+}

@@ -1,0 +1,413 @@
+package eco
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"rotaryclk/internal/assign"
+	"rotaryclk/internal/faultinject"
+	"rotaryclk/internal/geom"
+	"rotaryclk/internal/obs"
+	"rotaryclk/internal/placer"
+	"rotaryclk/internal/skew"
+	"rotaryclk/internal/stop"
+	"rotaryclk/internal/timing"
+)
+
+// Apply absorbs a batch of deltas into the state with bounded recompute:
+// netlist edits (with copy-on-write system patching), a dirty-region
+// placement solve, a warm-started schedule re-check, and a residual-flow
+// assignment patch. On success the circuit and state hold the new optimum;
+// on failure both roll back to their pre-call values — strict mode then
+// returns the error, non-strict returns a Degraded outcome describing the
+// restored state.
+//
+// Deltas apply in order, each seeing its predecessors' effects. Invalid
+// deltas (unknown cells, class violations, out-of-range rings) are input
+// errors in both modes and never degrade.
+func Apply(st *State, deltas []Delta, opt Options) (*Outcome, error) {
+	reg := obs.Resolve(opt.Obs)
+	reg.Add("eco.applies", 1)
+	span := reg.StartSpan("eco.apply", obs.I("deltas", len(deltas)), obs.S("mode", mode(opt)))
+	defer span.End()
+
+	c := st.Circuit
+	tok := opt.Stop
+	out := &Outcome{}
+
+	prevPos := c.Positions()
+	pinned := clonePinned(st.Pinned)
+	if pinned == nil {
+		pinned = map[int]int{}
+	}
+	var undos []func()
+	rollback := func() {
+		for i := len(undos) - 1; i >= 0; i-- {
+			undos[i]()
+		}
+		if err := c.SetPositions(prevPos); err != nil {
+			// The snapshot came from this circuit; a mismatch is impossible
+			// unless a delta resized it, which no delta does.
+			panic(fmt.Sprintf("eco: rollback: %v", err))
+		}
+	}
+	// fail finishes a failed solver phase: roll back, then either raise
+	// (strict) or report the restored state as Degraded (non-strict).
+	fail := func(phase string, err error) (*Outcome, error) {
+		rollback()
+		if opt.Strict {
+			return nil, fmt.Errorf("eco: %s: %w", phase, err)
+		}
+		out.Events = append(out.Events, fmt.Sprintf("%s failed; rolled back to pre-edit state: %v", phase, err))
+		out.Degraded = true
+		reg.Add("eco.degraded", 1)
+		out.FFCells = append([]int(nil), st.FFCells...)
+		out.Sched = append([]float64(nil), st.Sched...)
+		out.Assign = st.Assign
+		if st.Assign != nil {
+			out.Total = st.Assign.Total
+		}
+		out.WorkSlack = st.WorkSlack
+		return out, nil
+	}
+
+	// Phase 1: netlist edits + system patching. Net edits patch the system
+	// immediately so each patch sees only the edits before it (the patched
+	// CSR must stay consistent with the circuit it was derived from).
+	nlSp := span.Child("eco.netlist")
+	sys := st.Sys
+	needRebuild := opt.Scratch
+	dirtyCellSet := map[int]bool{}
+	dirtyFFSet := map[int]bool{}
+	for i, d := range deltas {
+		ap, err := applyDelta(st, pinned, i, d)
+		if err != nil {
+			rollback()
+			return nil, err
+		}
+		if ap.noop {
+			out.NoOps++
+			reg.Add("eco.noops", 1)
+			continue
+		}
+		if ap.undo != nil {
+			undos = append(undos, ap.undo)
+		}
+		out.Deltas++
+		reg.Add("eco.deltas", 1)
+		for _, id := range ap.dirtyCells {
+			dirtyCellSet[id] = true
+		}
+		if ap.dirtyFF >= 0 {
+			dirtyFFSet[ap.dirtyFF] = true
+		}
+		if ap.editedNet >= 0 && !needRebuild {
+			ns, ok, perr := sys.PatchNet(ap.editedNet, ap.oldPins)
+			if perr != nil {
+				rollback()
+				return nil, fmt.Errorf("eco: system patch: %w", perr)
+			}
+			if !ok {
+				needRebuild = true
+			} else {
+				sys = ns
+				out.SystemPatched++
+				reg.Add("eco.system.patches", 1)
+			}
+		}
+	}
+	nlSp.End()
+	if out.Deltas == 0 {
+		// Every delta was a no-op: nothing re-solves, nothing is dirty, and
+		// the outcome echoes the unchanged state.
+		out.FFCells = append([]int(nil), st.FFCells...)
+		out.Sched = append([]float64(nil), st.Sched...)
+		out.Assign = st.Assign
+		if st.Assign != nil {
+			out.Total = st.Assign.Total
+		}
+		out.WorkSlack = st.WorkSlack
+		return out, nil
+	}
+	if needRebuild {
+		ns, err := placer.NewSystem(c, reg)
+		if err != nil {
+			rollback()
+			return nil, fmt.Errorf("eco: system rebuild: %w", err)
+		}
+		sys = ns
+		out.SystemRebuilt = true
+		reg.Add("eco.system.rebuilds", 1)
+	}
+	if err := stop.Check(tok, faultinject.SiteEcoApplyCancel); err != nil {
+		return fail("netlist edits", err)
+	}
+
+	// Phase 2: dirty-region incremental placement. The edited flip-flops
+	// hold their (user-chosen) positions; their movable neighbors re-settle
+	// against the rest of the placement as a boundary condition.
+	plSp := span.Child("eco.place")
+	dirtyCells := make([]int, 0, len(dirtyCellSet))
+	for id := range dirtyCellSet {
+		dirtyCells = append(dirtyCells, id)
+	}
+	sort.Ints(dirtyCells)
+	if len(dirtyCells) > 0 {
+		moved, err := sys.SolveDirty(dirtyCells, 0, tok)
+		if err != nil {
+			plSp.End()
+			return fail("dirty-region placement", err)
+		}
+		out.MovedCells = moved
+	}
+	out.DirtyCells = len(dirtyCells)
+	reg.Add("eco.dirty.cells", int64(len(dirtyCells)))
+	plSp.End()
+	if err := stop.Check(tok, faultinject.SiteEcoApplyCancel); err != nil {
+		return fail("dirty-region placement", err)
+	}
+
+	// Phase 3: warm-started schedule re-check. Any moved cell changes wire
+	// delays somewhere, so the sequential-pair extraction re-runs in full;
+	// the schedule repair, seeded from the previous schedule, is the
+	// bounded part — one O(m) verification round when nothing regressed.
+	schedSp := span.Child("eco.sched")
+	ffCells := c.FlipFlops()
+	n := len(ffCells)
+	if n == 0 {
+		rollback()
+		return nil, errors.New("eco: no flip-flops to optimize")
+	}
+	ffIdx := make(map[int]int, n)
+	for i, id := range ffCells {
+		ffIdx[id] = i
+	}
+	sta, err := timing.Analyze(c, st.TModel)
+	if err != nil {
+		schedSp.End()
+		return fail("timing analysis", err)
+	}
+	pairs := make([]skew.SeqPair, len(sta.Pairs))
+	for i, p := range sta.Pairs {
+		pairs[i] = skew.SeqPair{U: ffIdx[p.From], V: ffIdx[p.To], DMax: p.DMax, DMin: p.DMin}
+	}
+	oldSched := make(map[int]float64, len(st.FFCells))
+	for i, id := range st.FFCells {
+		if i < len(st.Sched) {
+			oldSched[id] = st.Sched[i]
+		}
+	}
+	seed := make([]float64, n)
+	for i, id := range ffCells {
+		if s, ok := oldSched[id]; ok {
+			seed[i] = s
+		} else {
+			seed[i] = ringPhaseSeed(st, c.Cells[id].Pos)
+		}
+	}
+	T := st.Params.Period
+	ladder := []float64{st.WorkSlack}
+	if st.WorkSlack > 0 {
+		ladder = append(ladder, st.WorkSlack/2, 0)
+	}
+	var sched []float64
+	margin, schedOK, allFFsDirty := 0.0, false, false
+	for li, m := range ladder {
+		cons := skew.Constraints(pairs, T, m, st.TModel.TSetup, st.TModel.THold)
+		t, rounds, feasible, werr := skew.WarmStartStop(tok, n, cons, seed)
+		if werr != nil {
+			schedSp.End()
+			return fail("schedule re-check", werr)
+		}
+		out.SchedRounds = rounds
+		if feasible {
+			sched, margin, schedOK = t, m, true
+			break
+		}
+		if li+1 < len(ladder) {
+			out.Events = append(out.Events, fmt.Sprintf("schedule re-check infeasible at %.4g ps margin; relaxing to %.4g", m, ladder[li+1]))
+			reg.Add("eco.recover.sched", 1)
+		}
+	}
+	if !schedOK {
+		// Even the zero-margin warm start failed: the edit moved timing past
+		// the old schedule's neighborhood. Fall back to a fresh max-slack
+		// solve (feasible whenever any schedule is) and re-route everything.
+		M, ms, merr := skew.MaxSlackExactStop(tok, n, pairs, T, st.TModel.TSetup, st.TModel.THold)
+		if merr != nil {
+			schedSp.End()
+			return fail("schedule re-check", merr)
+		}
+		frac := st.SlackFrac
+		if frac <= 0 || frac > 1 {
+			frac = 0.5
+		}
+		margin = M
+		if M > 0 {
+			margin = frac * M
+		}
+		sched = ms
+		allFFsDirty = true
+		out.Events = append(out.Events, "warm start infeasible at every margin; fell back to a fresh max-slack schedule")
+		reg.Add("eco.recover.sched", 1)
+	}
+	out.WorkSlack = margin
+	schedSp.End()
+	if err := stop.Check(tok, faultinject.SiteEcoApplyCancel); err != nil {
+		return fail("schedule re-check", err)
+	}
+
+	// Phase 4: assignment patch. Dirty flip-flops are the edited ones plus
+	// any whose schedule entry the repair moved (bit-compare against the
+	// old schedule); everything else preloads its previous ring.
+	asgSp := span.Child("eco.assign")
+	prevRingByCell := make(map[int]int, len(st.FFCells))
+	for i, id := range st.FFCells {
+		if i < len(st.Ring) {
+			prevRingByCell[id] = st.Ring[i]
+		}
+	}
+	prev := make([]int, n)
+	var dirtyIdx []int
+	for i, id := range ffCells {
+		r, ok := prevRingByCell[id]
+		if !ok {
+			r = -1
+		}
+		prev[i] = r
+		old, had := oldSched[id]
+		schedChanged := !had || math.Float64bits(old) != math.Float64bits(sched[i])
+		if allFFsDirty || dirtyFFSet[id] || schedChanged {
+			dirtyIdx = append(dirtyIdx, i)
+		}
+	}
+	out.DirtyFFs = len(dirtyIdx)
+	reg.Add("eco.dirty.ffs", int64(len(dirtyIdx)))
+
+	cache := st.Cache
+	if opt.Scratch || cache == nil {
+		cache = assign.NewTapCache()
+	}
+	var pin []int
+	if len(pinned) > 0 {
+		pin = make([]int, n)
+		for i := range pin {
+			pin[i] = -1
+		}
+		for i, id := range ffCells {
+			if r, ok := pinned[id]; ok {
+				pin[i] = r
+			}
+		}
+	}
+	mkProblem := func(k int, capacity []int, fallback bool) *assign.Problem {
+		ffs := make([]assign.FF, n)
+		for i, id := range ffCells {
+			ffs[i] = assign.FF{Cell: id, Pos: c.Cells[id].Pos, Target: sched[i]}
+		}
+		return &assign.Problem{
+			Array:       st.Array,
+			FFs:         ffs,
+			K:           k,
+			Capacity:    capacity,
+			Pin:         pin,
+			Parallelism: st.Parallelism,
+			Cache:       cache,
+			TapFallback: fallback,
+			Obs:         reg,
+			Stop:        tok,
+		}
+	}
+	k := st.K
+	if k <= 0 {
+		k = 6
+	}
+	var asg *assign.Assignment
+	if opt.Scratch {
+		asg, err = assign.MinCost(mkProblem(k, st.Capacity, false))
+	} else {
+		asg, err = assign.PatchMinCost(mkProblem(k, st.Capacity, false), prev, dirtyIdx)
+	}
+	if err != nil && errors.Is(err, assign.ErrInfeasible) && !opt.Strict {
+		// The same relaxation ladder the flow's stage 3 uses: wider
+		// candidate sets, looser capacities, and last the nearest-point
+		// fallback. Relaxed steps solve cold — the previous assignment is
+		// not a feasible warm start for an instance the patch already
+		// rejected.
+		numRings := len(st.Array.Rings)
+		k2 := k * 2
+		if k2 > numRings {
+			k2 = numRings
+		}
+		baseCap := float64((n*5/4)/numRings + 1)
+		uniform := func(scale float64) []int {
+			caps := make([]int, numRings)
+			for j := range caps {
+				caps[j] = int(math.Ceil(baseCap * scale))
+			}
+			return caps
+		}
+		steps := []struct {
+			k        int
+			capacity []int
+			fallback bool
+			action   string
+		}{
+			{k: k2, capacity: uniform(1.5), action: fmt.Sprintf("relaxing assignment: K widened to %d, ring capacity x1.5", k2)},
+			{k: numRings, capacity: uniform(2.25), action: fmt.Sprintf("relaxing assignment: all %d rings candidate, ring capacity x2.25", numRings)},
+			{k: numRings, capacity: uniform(2.25), fallback: true, action: "enabling nearest-point tapping fallback (taps may miss skew targets)"},
+		}
+		for _, stp := range steps {
+			out.Events = append(out.Events, stp.action)
+			reg.Add("eco.recover.assign", 1)
+			asg, err = assign.MinCost(mkProblem(stp.k, stp.capacity, stp.fallback))
+			if err == nil || !errors.Is(err, assign.ErrInfeasible) {
+				break
+			}
+		}
+	}
+	if err != nil {
+		asgSp.End()
+		return fail("assignment patch", err)
+	}
+	asgSp.End()
+
+	// Commit.
+	st.Sys = sys
+	st.FFCells = ffCells
+	st.Sched = sched
+	st.Ring = append([]int(nil), asg.Ring...)
+	st.Assign = asg
+	st.WorkSlack = margin
+	st.Pinned = pinned
+	if st.Cache == nil && !opt.Scratch {
+		st.Cache = cache
+	}
+	out.FFCells = append([]int(nil), ffCells...)
+	out.Sched = append([]float64(nil), sched...)
+	out.Assign = asg
+	out.Total = asg.Total
+	return out, nil
+}
+
+func mode(opt Options) string {
+	if opt.Scratch {
+		return "scratch"
+	}
+	return "patch"
+}
+
+// ringPhaseSeed seeds a brand-new flip-flop's delay target at the phase its
+// nearest ring offers at the nearest tapping point — the same quantity the
+// nearest-point fallback tap realizes.
+func ringPhaseSeed(st *State, pos geom.Point) float64 {
+	js := st.Array.NearestRings(pos, 1)
+	if len(js) == 0 {
+		return 0
+	}
+	r := st.Array.Rings[js[0]]
+	s, _, dist := r.Nearest(pos)
+	return math.Mod(r.DelayAt(s, st.Params.Period)+st.Params.StubDelay(dist), st.Params.Period)
+}

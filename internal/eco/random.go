@@ -1,0 +1,180 @@
+package eco
+
+import (
+	"math/rand"
+
+	"rotaryclk/internal/geom"
+	"rotaryclk/internal/netlist"
+)
+
+// RandomDeltas draws a sequence of n deltas valid against circuit c with
+// numRings rings, for the differential-oracle campaign, the benchmark replay
+// and the CI smoke. Validity is sequence-aware: a private clone tracks each
+// delta's effect (kind changes, pin membership, flip-flop count) so every
+// delta is legal given its predecessors. Move targets are uniform over the
+// die; net edits keep gates with at least two fanins, and a reachability
+// probe rejects net adds and flip-flop demotions that would close a
+// combinational cycle, so the circuit stays analyzable. The result may be
+// shorter than n if the circuit runs out of legal edits of the drawn kinds.
+func RandomDeltas(rng *rand.Rand, c *netlist.Circuit, numRings, n int) []Delta {
+	sim := c.Clone()
+	die := sim.Die
+	drives := driverNets(sim)
+	var ds []Delta
+	for attempts := 0; len(ds) < n && attempts < 60*n+120; attempts++ {
+		switch rng.Intn(6) {
+		case 0, 1: // move_ff — the common ECO, drawn twice as often
+			ffs := sim.FlipFlops()
+			if len(ffs) == 0 {
+				continue
+			}
+			id := ffs[rng.Intn(len(ffs))]
+			x := die.Lo.X + rng.Float64()*die.W()
+			y := die.Lo.Y + rng.Float64()*die.H()
+			sim.Cells[id].Pos = geom.Pt(x, y)
+			ds = append(ds, Delta{Op: OpMoveFF, Cell: id, X: x, Y: y})
+
+		case 2: // add_ff: any single-fanin gate
+			var cands []int
+			for _, cell := range sim.Cells {
+				if cell.Kind == netlist.Gate && len(cell.Fanin) == 1 {
+					cands = append(cands, cell.ID)
+				}
+			}
+			if len(cands) == 0 {
+				continue
+			}
+			id := cands[rng.Intn(len(cands))]
+			sim.Cells[id].Kind = netlist.FF
+			ds = append(ds, Delta{Op: OpAddFF, Cell: id})
+
+		case 3: // remove_ff: keep at least one flip-flop
+			ffs := sim.FlipFlops()
+			if len(ffs) <= 1 {
+				continue
+			}
+			id := ffs[rng.Intn(len(ffs))]
+			// Demoting a flip-flop to a gate removes a sequential break; skip
+			// candidates sitting on an otherwise-combinational loop.
+			if combReaches(sim, drives, id, id) {
+				continue
+			}
+			sim.Cells[id].Kind = netlist.Gate
+			ds = append(ds, Delta{Op: OpRemoveFF, Cell: id})
+
+		case 4: // retarget_ring
+			ffs := sim.FlipFlops()
+			if len(ffs) == 0 || numRings <= 0 {
+				continue
+			}
+			id := ffs[rng.Intn(len(ffs))]
+			ds = append(ds, Delta{Op: OpRetargetRing, Cell: id, Ring: rng.Intn(numRings)})
+
+		case 5: // edit_net
+			if len(sim.Nets) == 0 {
+				continue
+			}
+			e := rng.Intn(len(sim.Nets))
+			net := sim.Nets[e]
+			if rng.Intn(2) == 0 {
+				// Add a gate sink not already on the net.
+				id := rng.Intn(len(sim.Cells))
+				cell := sim.Cells[id]
+				if cell.Kind != netlist.Gate {
+					continue
+				}
+				on := false
+				for _, p := range net.Pins {
+					if p == id {
+						on = true
+						break
+					}
+				}
+				if on {
+					continue
+				}
+				// The new sink adds a driver->id edge; if id's combinational
+				// cone already reaches the (non-FF) driver, that edge would
+				// close a combinational cycle.
+				if d := net.Pins[0]; sim.Cells[d].Kind != netlist.FF &&
+					combReaches(sim, drives, id, d) {
+					continue
+				}
+				net.Pins = append(net.Pins, id)
+				cell.Fanin = append(cell.Fanin, e)
+				ds = append(ds, Delta{Op: OpEditNet, Net: e, Cell: id, Add: true})
+			} else {
+				// Remove a gate sink, keeping the net at >=2 pins and the
+				// gate at >=1 remaining fanin.
+				if len(net.Pins) <= 2 {
+					continue
+				}
+				var sinks []int
+				for _, p := range net.Sinks() {
+					if cl := sim.Cells[p]; cl.Kind == netlist.Gate && len(cl.Fanin) >= 2 {
+						sinks = append(sinks, p)
+					}
+				}
+				if len(sinks) == 0 {
+					continue
+				}
+				id := sinks[rng.Intn(len(sinks))]
+				for k := 1; k < len(net.Pins); k++ {
+					if net.Pins[k] == id {
+						net.Pins = append(net.Pins[:k], net.Pins[k+1:]...)
+						break
+					}
+				}
+				cell := sim.Cells[id]
+				for k, f := range cell.Fanin {
+					if f == e {
+						cell.Fanin = append(cell.Fanin[:k], cell.Fanin[k+1:]...)
+						break
+					}
+				}
+				ds = append(ds, Delta{Op: OpEditNet, Net: e, Cell: id})
+			}
+		}
+	}
+	return ds
+}
+
+// driverNets maps each cell to the nets it drives. Net drivers are immutable
+// under every delta op (edits only touch sinks), so one scan over the clone
+// serves the whole draw.
+func driverNets(c *netlist.Circuit) [][]int {
+	m := make([][]int, len(c.Cells))
+	for e, net := range c.Nets {
+		if len(net.Pins) > 0 {
+			m[net.Pins[0]] = append(m[net.Pins[0]], e)
+		}
+	}
+	return m
+}
+
+// combReaches reports whether a signal leaving cell from can reach cell to
+// through combinational (non-FF) cells of sim. from is expanded regardless of
+// its recorded kind, so from == to probes whether demoting a flip-flop would
+// sit on a combinational loop.
+func combReaches(sim *netlist.Circuit, drives [][]int, from, to int) bool {
+	seen := make([]bool, len(sim.Cells))
+	stack := []int{from}
+	seen[from] = true
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range drives[u] {
+			for _, s := range sim.Nets[e].Sinks() {
+				if s == to {
+					return true
+				}
+				if seen[s] || sim.Cells[s].Kind == netlist.FF {
+					continue
+				}
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,161 @@
+package eco
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"rotaryclk/internal/geom"
+	"rotaryclk/internal/netlist"
+	"rotaryclk/internal/timing"
+)
+
+// replayDeltas applies a drawn sequence to a fresh clone with the same
+// structural bookkeeping RandomDeltas' private clone uses, fataling on any
+// delta that is not legal given its predecessors — the generator's validity
+// contract, checked from the outside.
+func replayDeltas(t *testing.T, c *netlist.Circuit, numRings int, ds []Delta) *netlist.Circuit {
+	t.Helper()
+	sim := c.Clone()
+	for i, d := range ds {
+		switch d.Op {
+		case OpMoveFF:
+			if sim.Cells[d.Cell].Kind != netlist.FF {
+				t.Fatalf("delta %d %s: cell is not a flip-flop", i, d)
+			}
+			if !sim.Die.Contains(geom.Pt(d.X, d.Y)) {
+				t.Fatalf("delta %d %s: target outside the die", i, d)
+			}
+			sim.Cells[d.Cell].Pos = geom.Pt(d.X, d.Y)
+		case OpAddFF:
+			cl := sim.Cells[d.Cell]
+			if cl.Kind != netlist.Gate || len(cl.Fanin) != 1 {
+				t.Fatalf("delta %d %s: not a single-fanin gate", i, d)
+			}
+			cl.Kind = netlist.FF
+		case OpRemoveFF:
+			if sim.Cells[d.Cell].Kind != netlist.FF {
+				t.Fatalf("delta %d %s: cell is not a flip-flop", i, d)
+			}
+			if len(sim.FlipFlops()) <= 1 {
+				t.Fatalf("delta %d %s: would remove the last flip-flop", i, d)
+			}
+			sim.Cells[d.Cell].Kind = netlist.Gate
+		case OpRetargetRing:
+			if sim.Cells[d.Cell].Kind != netlist.FF {
+				t.Fatalf("delta %d %s: cell is not a flip-flop", i, d)
+			}
+			if d.Ring < 0 || d.Ring >= numRings {
+				t.Fatalf("delta %d %s: ring out of range", i, d)
+			}
+		case OpEditNet:
+			net := sim.Nets[d.Net]
+			cl := sim.Cells[d.Cell]
+			if d.Add {
+				if cl.Kind != netlist.Gate {
+					t.Fatalf("delta %d %s: added sink is not a gate", i, d)
+				}
+				for _, p := range net.Pins {
+					if p == d.Cell {
+						t.Fatalf("delta %d %s: cell already on the net", i, d)
+					}
+				}
+				net.Pins = append(net.Pins, d.Cell)
+				cl.Fanin = append(cl.Fanin, d.Net)
+			} else {
+				if len(net.Pins) <= 2 || cl.Kind != netlist.Gate || len(cl.Fanin) < 2 {
+					t.Fatalf("delta %d %s: removal would leave a degenerate net or gate", i, d)
+				}
+				removed := false
+				for k := 1; k < len(net.Pins); k++ {
+					if net.Pins[k] == d.Cell {
+						net.Pins = append(net.Pins[:k], net.Pins[k+1:]...)
+						removed = true
+						break
+					}
+				}
+				if !removed {
+					t.Fatalf("delta %d %s: cell is not a sink of the net", i, d)
+				}
+				for k, f := range cl.Fanin {
+					if f == d.Net {
+						cl.Fanin = append(cl.Fanin[:k], cl.Fanin[k+1:]...)
+						break
+					}
+				}
+			}
+		default:
+			t.Fatalf("delta %d: unknown op %q", i, d.Op)
+		}
+	}
+	return sim
+}
+
+// TestRandomDeltasValidAndDeterministic: the drawn sequence replays cleanly
+// against a fresh clone (every delta legal given its predecessors) and is a
+// pure function of the seed.
+func TestRandomDeltasValidAndDeterministic(t *testing.T) {
+	c, err := netlist.Generate(netlist.GenSpec{Name: "rnd", Cells: 150, FlipFlops: 25, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := RandomDeltas(rand.New(rand.NewSource(42)), c, 9, 40)
+	if len(ds) != 40 {
+		t.Fatalf("drew %d deltas, want 40", len(ds))
+	}
+	replayDeltas(t, c, 9, ds)
+	ds2 := RandomDeltas(rand.New(rand.NewSource(42)), c, 9, 40)
+	if !reflect.DeepEqual(ds, ds2) {
+		t.Error("same seed drew a different sequence")
+	}
+}
+
+// TestRandomDeltasKeepCircuitAnalyzable: the reachability guard must keep
+// every drawn sequence free of combinational cycles — the replayed netlist
+// still passes timing analysis after many net edits and FF demotions.
+func TestRandomDeltasKeepCircuitAnalyzable(t *testing.T) {
+	c, err := netlist.Generate(netlist.GenSpec{Name: "rnd-cyc", Cells: 200, FlipFlops: 30, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 8; seed++ {
+		ds := RandomDeltas(rand.New(rand.NewSource(seed)), c, 9, 60)
+		sim := replayDeltas(t, c, 9, ds)
+		if _, err := timing.Analyze(sim, timing.DefaultModel()); err != nil {
+			t.Errorf("seed %d: edited circuit no longer analyzable: %v", seed, err)
+		}
+	}
+}
+
+// TestCombReaches pins the traversal the guard relies on: combinational
+// fanout is followed, flip-flops block, and a from==to probe detects the
+// loop a demotion would expose.
+func TestCombReaches(t *testing.T) {
+	c := netlist.New("reach")
+	c.Die = geom.Rect{Lo: geom.Pt(0, 0), Hi: geom.Pt(100, 100)}
+	mk := func(kind netlist.Kind, fn netlist.Func) int {
+		return c.AddCell(&netlist.Cell{Name: "c", Kind: kind, Fn: fn, W: 1, H: 1}).ID
+	}
+	a := mk(netlist.Gate, netlist.FuncBuf)
+	b := mk(netlist.Gate, netlist.FuncBuf)
+	f := mk(netlist.FF, netlist.FuncDFF)
+	d := mk(netlist.Gate, netlist.FuncBuf)
+	c.AddNet("a-b", a, b) // a -> b
+	c.AddNet("b-f", b, f) // b -> f (FF)
+	c.AddNet("f-d", f, d) // f -> d
+	c.AddNet("d-a", d, a) // d -> a: a loop, broken only by f
+
+	drives := driverNets(c)
+	if !combReaches(c, drives, a, b) {
+		t.Error("a should reach its direct sink b")
+	}
+	if combReaches(c, drives, a, d) {
+		t.Error("a must not reach d: the only path crosses flip-flop f")
+	}
+	if !combReaches(c, drives, f, f) {
+		t.Error("demotion probe: f sits on a loop that is combinational without it")
+	}
+	if combReaches(c, drives, b, b) {
+		t.Error("b does not drive a path back to itself that avoids f")
+	}
+}

@@ -43,18 +43,25 @@ const (
 	SiteLPSolve           = "lp.Solve"
 	SiteLPSolveILP        = "lp.SolveILP"
 	SiteRotarySolveTap    = "rotary.SolveTap"
+	// SiteAssignPatch corrupts (not errors) the residual-flow assignment
+	// patch: with a rule armed, PatchMinCost silently returns each
+	// flip-flop's most expensive candidate instead of optimizing — the
+	// wrong-answer failure mode the ECO-vs-scratch oracle must catch.
+	SiteAssignPatch = "assign.patch"
 
 	// Cancellation-path sites: one per long solver loop, checked every
 	// iteration via stop.Check. Arming one with stop.ErrDeadlineExceeded (or
 	// stop.ErrCanceled) simulates a deadline firing at an exact iteration of
 	// that loop, which is how the recovery-matrix tests prove every loop
 	// degrades instead of hanging or corrupting state.
-	SitePlacerCGCancel   = "placer.cg.cancel"         // per CG iteration (both axes)
-	SiteLPPivotCancel    = "lp.pivot.cancel"          // per simplex pivot (dense + assignment LP)
-	SiteLPNodeCancel     = "lp.bb.cancel"             // per branch-and-bound node
-	SiteMcmfPathCancel   = "mcmf.path.cancel"         // per augmenting path / reroute
-	SiteAssignCandCancel = "assign.candidates.cancel" // per flip-flop candidate row
-	SiteSkewIterCancel   = "skew.iter.cancel"         // per Bellman-Ford / Karp DP round
+	SitePlacerCGCancel    = "placer.cg.cancel"         // per CG iteration (both axes)
+	SiteLPPivotCancel     = "lp.pivot.cancel"          // per simplex pivot (dense + assignment LP)
+	SiteLPNodeCancel      = "lp.bb.cancel"             // per branch-and-bound node
+	SiteMcmfPathCancel    = "mcmf.path.cancel"         // per augmenting path / reroute
+	SiteAssignCandCancel  = "assign.candidates.cancel" // per flip-flop candidate row
+	SiteSkewIterCancel    = "skew.iter.cancel"         // per Bellman-Ford / Karp DP round
+	SiteEcoApplyCancel    = "eco.apply.cancel"         // per ECO stage boundary
+	SitePlacerDirtyCancel = "placer.dirty.cancel"      // per dirty-region component solve
 )
 
 // Rule injects Err at one site. Call selects which call (1-based, counted

@@ -159,6 +159,28 @@ func (c *Circuit) AddNet(name string, pins ...int) *Net {
 	return n
 }
 
+// Clone returns a deep copy of the circuit: cells (with their fanin lists)
+// and nets (with their pin lists) are fresh allocations, so edits to the
+// clone — ECO deltas, placement writes — never reach the original. The ECO
+// differential oracle leans on this to run the patched and scratch arms on
+// independent copies of one circuit.
+func (c *Circuit) Clone() *Circuit {
+	d := &Circuit{Name: c.Name, Die: c.Die}
+	d.Cells = make([]*Cell, len(c.Cells))
+	for i, cell := range c.Cells {
+		cp := *cell
+		cp.Fanin = append([]int(nil), cell.Fanin...)
+		d.Cells[i] = &cp
+	}
+	d.Nets = make([]*Net, len(c.Nets))
+	for i, n := range c.Nets {
+		cp := *n
+		cp.Pins = append([]int(nil), n.Pins...)
+		d.Nets[i] = &cp
+	}
+	return d
+}
+
 // FlipFlops returns the IDs of all flip-flop cells, in ID order.
 func (c *Circuit) FlipFlops() []int {
 	var ffs []int

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"rotaryclk/internal/core"
+	"rotaryclk/internal/eco"
 	"rotaryclk/internal/geom"
 	"rotaryclk/internal/netlist"
 	"rotaryclk/internal/rotary"
@@ -24,6 +25,10 @@ type Options struct {
 	// FullFlowEvery runs the expensive full-flow translation metamorphic
 	// check on every k-th seed (default 10; negative disables).
 	FullFlowEvery int
+	// ECOEvery runs the ECO-vs-scratch differential check — a base flow run
+	// plus a random delta sequence applied through both arms — on every
+	// k-th seed (default 5; negative disables).
+	ECOEvery int
 	// Log, when non-nil, receives progress lines.
 	Log func(format string, args ...any)
 }
@@ -48,6 +53,9 @@ func (o *Options) normalize() {
 	}
 	if o.FullFlowEvery == 0 {
 		o.FullFlowEvery = 10
+	}
+	if o.ECOEvery == 0 {
+		o.ECOEvery = 5
 	}
 	if o.Log == nil {
 		o.Log = func(string, ...any) {}
@@ -360,6 +368,21 @@ func RunCampaign(o Options) (*Report, error) {
 			delta := geom.Pt(1000+rng.Float64()*2000, -500-rng.Float64()*1000)
 			if vs := check(CheckTranslate(spec, flowConfig(), delta, seed)); len(vs) > 0 {
 				record(vs, &Repro{Flow: &FlowSpec{Spec: spec, Delta: delta}})
+			}
+		}
+
+		if o.ECOEvery > 0 && i%o.ECOEvery == 0 {
+			es := &ECOSpec{Spec: netlist.GenSpec{
+				Cells:     40 + rng.Intn(30),
+				FlipFlops: 6 + rng.Intn(5),
+				Seed:      seed,
+			}}
+			if c, gerr := netlist.Generate(es.Spec); gerr == nil {
+				es.Deltas = eco.RandomDeltas(rng, c, flowConfig().NumRings, 4+rng.Intn(5))
+			}
+			if vs := check(CheckECO(es, flowConfig(), seed)); len(vs) > 0 {
+				sh := shrinkECO(es, func(cand *ECOSpec) bool { return len(CheckECO(cand, flowConfig(), seed)) > 0 })
+				record(vs, &Repro{ECO: sh})
 			}
 		}
 

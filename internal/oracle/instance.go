@@ -196,6 +196,7 @@ type Repro struct {
 	Skew   *SkewInstance   `json:",omitempty"`
 	Place  *PlaceInstance  `json:",omitempty"`
 	Flow   *FlowSpec       `json:",omitempty"`
+	ECO    *ECOSpec        `json:",omitempty"`
 }
 
 // WriteRepro writes the repro as indented JSON under dir, creating the

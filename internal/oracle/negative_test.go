@@ -29,6 +29,7 @@ func runFaultCampaign(t *testing.T, site string) (*Report, string) {
 		Seeds:         5,
 		ReproDir:      dir,
 		FullFlowEvery: -1,
+		ECOEvery:      1,
 	})
 	if err != nil {
 		t.Fatalf("campaign driver error: %v", err)
@@ -94,6 +95,33 @@ func TestFaultRotaryDetected(t *testing.T) {
 func TestFaultPlacerCGDetected(t *testing.T) {
 	rep, dir := runFaultCampaign(t, faultinject.SitePlacerCG)
 	assertDetected(t, rep, dir, "placer/densesolve")
+}
+
+// TestFaultECODetected: corrupting the assignment patch (silently — the
+// fault site picks the most expensive candidate instead of solving, exactly
+// the failure class only a differential oracle can see) must fire the
+// ECO-vs-scratch check, and the repro must shrink to a short delta sequence.
+func TestFaultECODetected(t *testing.T) {
+	rep, dir := runFaultCampaign(t, faultinject.SiteAssignPatch)
+	assertDetected(t, rep, dir, "eco/scratch")
+	for _, path := range rep.Repros {
+		var r Repro
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(data, &r); err != nil {
+			t.Fatal(err)
+		}
+		if r.Oracle == "eco/scratch" {
+			if r.ECO == nil {
+				t.Fatalf("repro %s missing ECO payload", path)
+			}
+			if len(r.ECO.Deltas) > 2 {
+				t.Errorf("repro %s not shrunk: %d deltas", path, len(r.ECO.Deltas))
+			}
+		}
+	}
 }
 
 // TestShrunkReproStillFails closes the loop on one fault: the minimized

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"rotaryclk/internal/core"
+	"rotaryclk/internal/eco"
 	"rotaryclk/internal/netlist"
 	"rotaryclk/internal/stop"
 )
@@ -90,17 +91,20 @@ func (c *Config) limits() Limits {
 }
 
 // job is one admitted request flowing from the handler goroutine through the
-// queue to a worker and back. The handler blocks on done; the worker owns
+// queue to a worker and back — a placement job (req) or an ECO request
+// (ecoReq); exactly one is set. The handler blocks on done; the worker owns
 // every other field until it closes done.
 type job struct {
 	req      *JobRequest
+	ecoReq   *ECORequest
 	tok      *stop.Token
 	release  func()
 	admitted time.Time
 
-	// Filled by the worker before close(done).
+	// Filled by the worker before close(done): resp is a *JobResponse or an
+	// *ECOResponse on success, nil with status/errMsg on failure.
 	status int
-	resp   *JobResponse
+	resp   any
 	errMsg string
 
 	done chan struct{}
@@ -122,11 +126,13 @@ type Server struct {
 	workers sync.WaitGroup
 
 	templates templateCache
+	ecoBases  ecoBaseCache
 	stats     stats
 
-	// runFlow is the flow entry point; tests replace it to inject panics
-	// and stalls without touching the solver stack.
+	// runFlow and runECO are the solver entry points; tests replace them to
+	// inject panics and stalls without touching the solver stack.
 	runFlow func(*netlist.Circuit, core.Config) (*core.Result, error)
+	runECO  func(*eco.State, []eco.Delta, core.Config, eco.Options) (*core.ECOResult, error)
 }
 
 // New builds a server and starts its worker pool. The caller must Drain it
@@ -139,9 +145,12 @@ func New(cfg Config) *Server {
 		queue:   make(chan *job, cfg.QueueDepth),
 		active:  make(map[*job]struct{}),
 		runFlow: core.Run,
+		runECO:  core.ApplyECO,
 	}
 	s.templates.init()
+	s.ecoBases.init()
 	s.mux.HandleFunc("/v1/jobs", s.handleJobs)
+	s.mux.HandleFunc("/v1/eco", s.handleECO)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	for i := 0; i < cfg.Workers; i++ {
@@ -158,7 +167,11 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 func (s *Server) worker() {
 	defer s.workers.Done()
 	for j := range s.queue {
-		s.execute(j)
+		if j.ecoReq != nil {
+			s.executeECO(j)
+		} else {
+			s.execute(j)
+		}
 	}
 }
 
@@ -227,15 +240,24 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	deadline := req.deadline(s.cfg.DefaultDeadline)
 	tok, release := stop.WithTimeout(deadline)
 	j := &job{req: req, tok: tok, release: release, admitted: time.Now(), done: make(chan struct{})}
+	if !s.admit(w, j) {
+		return
+	}
+	s.awaitAndReply(w, j)
+}
 
+// admit enqueues one job under the admission rules — draining rejects with
+// 503, a full queue sheds with 429 — and reports whether it was accepted.
+// On rejection the response has been written and the job's token released.
+func (s *Server) admit(w http.ResponseWriter, j *job) bool {
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
-		release()
+		j.release()
 		s.stats.add(&s.stats.rejectedDraining, 1)
 		w.Header().Set("Retry-After", "5")
 		httpError(w, http.StatusServiceUnavailable, "server is draining")
-		return
+		return false
 	}
 	select {
 	case s.queue <- j:
@@ -243,14 +265,19 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		s.mu.Unlock()
 	default:
 		s.mu.Unlock()
-		release()
+		j.release()
 		s.stats.add(&s.stats.shed, 1)
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusTooManyRequests, "job queue full")
-		return
+		return false
 	}
 	s.stats.add(&s.stats.admitted, 1)
+	return true
+}
 
+// awaitAndReply blocks until the worker finishes the job and writes its
+// response.
+func (s *Server) awaitAndReply(w http.ResponseWriter, j *job) {
 	<-j.done
 	if j.resp == nil {
 		httpError(w, j.status, j.errMsg)

@@ -27,6 +27,8 @@ type stats struct {
 	failed           atomic.Int64
 	templateBuilds   atomic.Int64
 	templateHits     atomic.Int64
+	ecoBaseBuilds    atomic.Int64
+	ecoBaseHits      atomic.Int64
 	drainForced      atomic.Int64
 
 	mu    sync.Mutex
@@ -66,6 +68,8 @@ type StatsSnapshot struct {
 	Failed           int64 `json:"failed"`
 	TemplateBuilds   int64 `json:"template_builds"`
 	TemplateHits     int64 `json:"template_hits"`
+	ECOBaseBuilds    int64 `json:"eco_base_builds"`
+	ECOBaseHits      int64 `json:"eco_base_hits"`
 	DrainForced      int64 `json:"drain_forced"`
 
 	QueueDepth int  `json:"queue_depth"`
@@ -88,6 +92,8 @@ func (s *stats) snapshot() *StatsSnapshot {
 		Failed:           s.failed.Load(),
 		TemplateBuilds:   s.templateBuilds.Load(),
 		TemplateHits:     s.templateHits.Load(),
+		ECOBaseBuilds:    s.ecoBaseBuilds.Load(),
+		ECOBaseHits:      s.ecoBaseHits.Load(),
 		DrainForced:      s.drainForced.Load(),
 	}
 	s.mu.Lock()

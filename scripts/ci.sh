@@ -31,6 +31,12 @@
 #                         default 10m), plus the tiny sweep-point unit test;
 #                         the full geometric sweep is `make scaling`
 #                         (cmd/rotaryscale -> BENCH_scaling.json)
+#   scripts/ci.sh eco     ECO smoke: 20 random single-delta edits at 20k
+#                         cells through the incremental path, every edit
+#                         proven equivalent to the from-scratch arm, mean
+#                         edit latency at least 5x faster than a full
+#                         re-run (ECO_TIMEOUT, default 15m); the 50k
+#                         headline row is `make eco-bench`
 #   scripts/ci.sh golden  run only the golden-table regression harness
 #                         (UPDATE=1 re-records the goldens after a reviewed
 #                         table change)
@@ -69,6 +75,7 @@ fuzz)
     go test ./internal/rotary/ -fuzz '^FuzzSolveTap$' -fuzztime "$fuzztime"
     go test ./internal/lp/ -fuzz '^FuzzILPRound$' -fuzztime "$fuzztime"
     go test ./internal/serve/ -fuzz '^FuzzParseJobRequest$' -fuzztime "$fuzztime"
+    go test ./internal/serve/ -fuzz '^FuzzParseECORequest$' -fuzztime "$fuzztime"
     ;;
 serve)
     # End-to-end daemon smoke: build rotaryd + rotaryload, drive a small
@@ -196,6 +203,12 @@ scaling)
     ROTARY_SCALING_SMOKE=1 go test -race -timeout "$timeout" \
         -run '^TestScaling50k$' -count=1 -v ./internal/bench/
     ;;
+eco)
+    timeout="${ECO_TIMEOUT:-15m}"
+    go test ./internal/bench/ -run '^TestECOBenchPoint$' -count=1
+    ROTARY_ECO_SMOKE=1 go test -timeout "$timeout" \
+        -run '^TestECOSmoke20k$' -count=1 -v ./internal/bench/
+    ;;
 golden)
     if [ "${UPDATE:-0}" = "1" ]; then
         go test ./internal/exp -run '^TestGolden' -count=1 -update
@@ -227,7 +240,7 @@ cover)
     fi
     ;;
 *)
-    echo "usage: scripts/ci.sh {test|race|fuzz|serve|bench|benchcmp|scaling|oracle|golden|cover}" >&2
+    echo "usage: scripts/ci.sh {test|race|fuzz|serve|bench|benchcmp|scaling|eco|oracle|golden|cover}" >&2
     exit 2
     ;;
 esac
