@@ -4,7 +4,7 @@
 
 SEEDS ?= 25
 
-.PHONY: test race fuzz serve bench benchcmp scaling scaling-smoke eco eco-bench oracle golden cover ci
+.PHONY: test race fuzz serve bench benchcmp scaling scaling-smoke eco eco-bench oracle timing golden cover ci
 
 test:
 	sh scripts/ci.sh test
@@ -47,10 +47,13 @@ eco-bench:
 oracle:
 	SEEDS=$(SEEDS) sh scripts/ci.sh oracle
 
+timing:
+	sh scripts/ci.sh timing
+
 golden:
 	sh scripts/ci.sh golden
 
 cover:
 	sh scripts/ci.sh cover
 
-ci: test race golden oracle serve eco cover
+ci: test race golden oracle serve eco timing cover

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	rotaryflow -circuit s9234 [-scale 0.25] [-assigner flow|ilp] [-objective delta|sum] [-j 4]
+//	rotaryflow -circuit s9234 [-scale 0.25] [-assigner flow|ilp] [-objective delta|sum] [-timing] [-j 4]
 //	rotaryflow -bench path/to/circuit.bench -rings 16
 //	rotaryflow -circuit s9234 -metrics metrics.json -trace trace.txt -cpuprofile cpu.pprof
 //
@@ -79,6 +79,7 @@ func run() int {
 		iters     = flag.Int("iters", 5, "max stage 3-6 iterations")
 		svgOut    = flag.String("svg", "", "write the final placement + rings + taps as SVG to this file")
 		jobs      = flag.Int("j", 0, "parallel workers for the flow kernels (0 = all cores, 1 = serial; results identical)")
+		timing    = flag.Bool("timing", false, "timing-driven mode: reweight critical-path nets in the re-optimization loop")
 		strict    = flag.Bool("strict", false, "fail on the first stage error instead of recovering/degrading")
 		deadline  = flag.Duration("deadline", 0, "wall-clock budget for the flow; past it the run degrades to its best snapshot (0 = none)")
 		metrics   = flag.String("metrics", "", "write the metrics snapshot (solver counters + span tree) as JSON to this file (\"-\" = stdout)")
@@ -124,6 +125,7 @@ func run() int {
 	}
 	cfg.MaxIters = *iters
 	cfg.Parallelism = *jobs
+	cfg.TimingDriven = *timing
 	cfg.Strict = *strict
 	if *deadline > 0 {
 		tok, release := stop.WithTimeout(*deadline)
@@ -211,6 +213,14 @@ func run() int {
 	}
 
 	fmt.Printf("max slack M* = %.1f ps\n", res.MaxSlack)
+	if *timing {
+		ws, err := core.WorstSlack(c, cfg, res)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rotaryflow: worst slack:", err)
+			return 1
+		}
+		fmt.Printf("worst slack  = %.1f ps\n", ws)
+	}
 	// A deadline-degraded partial result can have a zero base (nothing was
 	// assigned); improvement ratios would print NaN.
 	if res.Base.TapWL > 0 {

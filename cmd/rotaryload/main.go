@@ -29,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net/http"
 	"os"
@@ -195,8 +196,13 @@ func run() int {
 	p99 := 0.0
 	if len(lats) > 0 {
 		sort.Float64s(lats)
+		// Nearest-rank: ceil(f*n)-1, not int(f*n) — the latter over-reads by
+		// one rank (p99 of 100 samples would be the max).
 		q := func(f float64) float64 {
-			i := int(f * float64(len(lats)))
+			i := int(math.Ceil(f*float64(len(lats)))) - 1
+			if i < 0 {
+				i = 0
+			}
 			if i >= len(lats) {
 				i = len(lats) - 1
 			}

@@ -1,9 +1,10 @@
 // Command rotarytables regenerates every table of the paper's evaluation
-// (Section VIII, Tables I-VII) plus the Fig. 2 tapping-curve data.
+// (Section VIII, Tables I-VII), the Fig. 2 tapping-curve data, and the
+// repository's timing-driven extension study (Table VIII).
 //
 // Usage:
 //
-//	rotarytables [-scale 0.2] [-ilp-budget 10s] [-circuits s9234,s5378] [-tables I,III,IV] [-j 4]
+//	rotarytables [-scale 0.2] [-ilp-budget 10s] [-circuits s9234,s5378] [-tables I,III,IV] [-timing] [-j 4]
 //	rotarytables -metrics metrics.json -trace trace.txt -cpuprofile cpu.pprof
 //
 // Scale 1 runs the paper-size circuits (several minutes); the default scale
@@ -38,8 +39,9 @@ func run() int {
 		budget   = flag.Duration("ilp-budget", 10*time.Second, "wall-clock budget for the generic ILP baseline (Table I)")
 		ilpNodes = flag.Int("ilp-nodes", 0, "B&B node budget for the Table I ILP baseline (replaces -ilp-budget; deterministic)")
 		subset   = flag.String("circuits", "", "comma-separated circuit subset (default: all five)")
-		tables   = flag.String("tables", "I,II,III,IV,V,VI,VII,Fig2,Var,Trees,Rings", "comma-separated tables to regenerate (Var/Trees/Rings are the extension studies)")
+		tables   = flag.String("tables", "I,II,III,IV,V,VI,VII,VIII,Fig2,Var,Trees,Rings", "comma-separated tables to regenerate (VIII/Var/Trees/Rings are the extension studies)")
 		jobs     = flag.Int("j", 0, "parallel workers across circuits and kernels (0 = all cores, 1 = serial; identical tables either way)")
+		timing   = flag.Bool("timing", false, "run the suite flows timing-driven (Tables II-VII report the reweighted placements; Table VIII always compares both modes)")
 		strict   = flag.Bool("strict", false, "fail on the first flow stage error instead of recovering/degrading")
 		deadline = flag.Duration("deadline", 0, "wall-clock budget for the whole run; past it flows degrade to their best snapshots (0 = none)")
 		metrics  = flag.String("metrics", "", "write per-circuit metrics snapshots (solver counters + span tree) as JSON to this file")
@@ -80,7 +82,7 @@ func run() int {
 
 	opt := exp.Options{
 		Scale: *scale, ILPBudget: *budget, ILPNodes: *ilpNodes,
-		Parallelism: *jobs, Strict: *strict,
+		Parallelism: *jobs, Strict: *strict, TimingDriven: *timing,
 		Metrics: *metrics != "" || *trace != "",
 	}
 	if *deadline > 0 {
@@ -134,6 +136,14 @@ func run() int {
 	}
 	if want["VII"] {
 		fmt.Println(exp.RenderTableVII(exp.TableVII(runs)))
+	}
+	if want["VIII"] {
+		rows, err := exp.TableVIII(opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rotarytables:", err)
+			return 1
+		}
+		fmt.Println(exp.RenderTableVIII(rows))
 	}
 	if want["VAR"] {
 		rows, err := exp.VariationStudy(runs)

@@ -10,6 +10,7 @@ import (
 	"rotaryclk/internal/rotary"
 	"rotaryclk/internal/skew"
 	"rotaryclk/internal/stop"
+	"rotaryclk/internal/timing"
 )
 
 // Kind classifies why a flow stage failed. Every error returned by Run wraps
@@ -108,7 +109,8 @@ func classify(err error) Kind {
 		return NonConverged
 	case errors.Is(err, lp.ErrBudget):
 		return BudgetExceeded
-	case errors.Is(err, lp.ErrBadProblem):
+	case errors.Is(err, lp.ErrBadProblem),
+		errors.Is(err, timing.ErrCycle):
 		return InvalidInput
 	case errors.Is(err, stop.ErrCanceled):
 		return Canceled
@@ -117,6 +119,12 @@ func classify(err error) Kind {
 	}
 	return Internal
 }
+
+// Classify maps a solver error onto the Kind taxonomy via the solver
+// packages' sentinel errors (Internal for anything unrecognized). Exported
+// for layers above the flow — e.g. the experiment driver classifying a
+// post-run analysis failure into the same event log Run writes.
+func Classify(err error) Kind { return classify(err) }
 
 // StageEvent records one recovery or degradation action Run took instead of
 // failing. Events appear in Result.Events in the order they happened, so the

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"rotaryclk/internal/assign"
+	"rotaryclk/internal/lp"
+	"rotaryclk/internal/placer"
+	"rotaryclk/internal/rotary"
+	"rotaryclk/internal/skew"
+	"rotaryclk/internal/stop"
+	"rotaryclk/internal/timing"
+)
+
+// TestClassifySentinels pins the error taxonomy: every solver sentinel maps
+// onto its Kind, and anything unrecognized (nil included) is Internal — an
+// unclassified failure means a broken flow invariant, never caller data.
+func TestClassifySentinels(t *testing.T) {
+	wrap := func(err error) error { return stageErr(3, 1, err) } // classification must survive wrapping
+	tests := []struct {
+		err  error
+		want Kind
+	}{
+		{assign.ErrInfeasible, Infeasible},
+		{skew.ErrInfeasible, Infeasible},
+		{rotary.ErrNoTap, Infeasible},
+		{placer.ErrNonConverged, NonConverged},
+		{lp.ErrBudget, BudgetExceeded},
+		{lp.ErrBadProblem, InvalidInput},
+		{timing.ErrCycle, InvalidInput},
+		{stop.ErrCanceled, Canceled},
+		{stop.ErrDeadlineExceeded, DeadlineExceeded},
+		{errors.New("mystery"), Internal},
+		{nil, Internal},
+	}
+	for _, tc := range tests {
+		if got := Classify(tc.err); got != tc.want {
+			t.Errorf("Classify(%v) = %v, want %v", tc.err, got, tc.want)
+		}
+		if tc.err == nil {
+			continue
+		}
+		if got := Classify(wrap(tc.err)); got != tc.want {
+			t.Errorf("Classify(wrapped %v) = %v, want %v", tc.err, got, tc.want)
+		}
+	}
+}
+
+// TestKindString covers the whole enum plus the out-of-range fallback, so a
+// new Kind added without a name shows up as a test failure, not "kind(7)" in
+// a production event log.
+func TestKindString(t *testing.T) {
+	tests := []struct {
+		k    Kind
+		want string
+	}{
+		{Infeasible, "infeasible"},
+		{NonConverged, "non-converged"},
+		{BudgetExceeded, "budget-exceeded"},
+		{InvalidInput, "invalid-input"},
+		{Internal, "internal"},
+		{Canceled, "canceled"},
+		{DeadlineExceeded, "deadline-exceeded"},
+		{Kind(99), "kind(99)"},
+	}
+	for _, tc := range tests {
+		if got := tc.k.String(); got != tc.want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(tc.k), got, tc.want)
+		}
+	}
+}
+
+// TestStageErrorAndEventStrings: the human-readable forms carry stage, iter
+// (when in the loop), kind, and cause.
+func TestStageErrorAndEventStrings(t *testing.T) {
+	cause := errors.New("ring capacities below flip-flop count")
+	e := &StageError{Stage: 3, Iter: 2, Kind: Infeasible, Err: cause}
+	for _, want := range []string{"stage 3", "iter 2", "infeasible", cause.Error()} {
+		if !strings.Contains(e.Error(), want) {
+			t.Errorf("StageError %q missing %q", e.Error(), want)
+		}
+	}
+	if !errors.Is(e, cause) {
+		t.Error("StageError does not unwrap to its cause")
+	}
+	pre := &StageError{Stage: 1, Kind: NonConverged, Err: cause}
+	if strings.Contains(pre.Error(), "iter") {
+		t.Errorf("pre-loop StageError mentions an iteration: %q", pre.Error())
+	}
+
+	ev := StageEvent{Stage: 2, Iter: 1, Kind: Canceled, Action: "kept best-so-far", Err: cause}
+	for _, want := range []string{"stage 2", "iter 1", "[canceled]", "kept best-so-far", cause.Error()} {
+		if !strings.Contains(ev.String(), want) {
+			t.Errorf("StageEvent %q missing %q", ev.String(), want)
+		}
+	}
+	info := StageEvent{Stage: 5, Kind: Internal, Action: "informational"}
+	if strings.Contains(info.String(), "iter") || strings.Contains(info.String(), "<nil>") {
+		t.Errorf("informational StageEvent renders noise: %q", info.String())
+	}
+}

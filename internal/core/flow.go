@@ -77,6 +77,30 @@ type Config struct {
 
 	SkipInitialPlace bool // reuse the circuit's existing placement
 
+	// TimingDriven enables critical-path net reweighting inside the
+	// re-optimization loop (ROADMAP item 3): before each stage-6 re-place,
+	// the K lowest-slack sequential pairs under the current schedule are
+	// extracted and the nets their D_max paths cross get a bounded weight
+	// boost in the quadratic system (placer.Options.NetWeights), pulling
+	// slow paths shorter. Default off; with it off the flow is bit-identical
+	// to earlier releases.
+	TimingDriven bool
+	// TimingPaths is K, the number of critical paths reweighted per
+	// iteration (default 8).
+	TimingPaths int
+	// TimingBoost is the scale increment applied to the most critical
+	// path's nets, tapering linearly with rank (default 1.0). Negative
+	// means zero boost: the overlay machinery runs but every net scale
+	// stays exactly 1.0 — the identity mode the oracle checks against the
+	// default flow.
+	TimingBoost float64
+	// TimingDecay is the fraction of the accumulated boost a net retains
+	// each iteration (exponential history, so weights on paths that leave
+	// the critical set relax instead of oscillating; default 0.3).
+	TimingDecay float64
+	// TimingMaxW caps any net's weight scale (default 4).
+	TimingMaxW float64
+
 	// Strict disables every recovery policy and the degraded-result path:
 	// the first stage failure returns immediately as a *StageError. With
 	// Strict off (the default) Run relaxes infeasible subproblems along
@@ -158,6 +182,18 @@ func (c *Config) normalize() {
 	}
 	if c.ConvergeTol <= 0 {
 		c.ConvergeTol = 0.01
+	}
+	if c.TimingPaths <= 0 {
+		c.TimingPaths = 8
+	}
+	if c.TimingBoost == 0 {
+		c.TimingBoost = 1.0
+	}
+	if c.TimingDecay <= 0 || c.TimingDecay >= 1 {
+		c.TimingDecay = 0.3
+	}
+	if c.TimingMaxW <= 1 {
+		c.TimingMaxW = 4
 	}
 }
 
@@ -454,6 +490,16 @@ func Run(c *netlist.Circuit, cfg Config) (*Result, error) {
 	prevCost := cost(res.Base)
 	bestCost := prevCost
 	stall := 0
+	// Timing-driven mode: one criticality scale per net, persistent across
+	// iterations so the exponential-decay history damps oscillation. Nil
+	// when the mode is off — the placer then takes its untouched base path.
+	var netScale []float64
+	if cfg.TimingDriven {
+		netScale = make([]float64, len(c.Nets))
+		for i := range netScale {
+			netScale[i] = 1
+		}
+	}
 	// fail handles an unrecoverable mid-loop failure: a hard StageError in
 	// strict mode, otherwise a degradation event. It returns the StageError
 	// to raise, or nil to degrade (caller breaks the loop).
@@ -476,6 +522,14 @@ loop:
 		}
 		reg.Add("core.iterations", 1)
 		itSp := root.Child("flow.iter", obs.I("iter", iter))
+		// Timing-driven reweighting: rank the lowest-slack sequential pairs
+		// under the current schedule and boost the nets their D_max paths
+		// cross, so the stage-6 re-place pulls them shorter.
+		if cfg.TimingDriven {
+			tw := itSp.Child("stage6.reweight")
+			timingReweight(c, &cfg, res, ffIdx, sched, netScale, iter, reg)
+			tw.End()
+		}
 		// Stage 6: pseudo-net incremental placement toward the current
 		// assignment's tapping points.
 		tPlace = time.Now()
@@ -488,10 +542,10 @@ loop:
 				Weight: cfg.PseudoWeight * float64(iter),
 			})
 		}
-		err := psys.Incremental(placer.Options{PseudoNets: pn, Parallelism: cfg.Parallelism, Obs: reg, Stop: cfg.Stop})
+		err := psys.Incremental(placer.Options{PseudoNets: pn, NetWeights: netScale, Parallelism: cfg.Parallelism, Obs: reg, Stop: cfg.Stop})
 		if err != nil && errors.Is(err, placer.ErrNonConverged) && !cfg.Strict {
 			res.event(6, iter, NonConverged, "retrying incremental placement at 100x looser CG tolerance", err)
-			err = psys.Incremental(placer.Options{PseudoNets: pn, Parallelism: cfg.Parallelism, CGTol: 1e-4, Obs: reg, Stop: cfg.Stop})
+			err = psys.Incremental(placer.Options{PseudoNets: pn, NetWeights: netScale, Parallelism: cfg.Parallelism, CGTol: 1e-4, Obs: reg, Stop: cfg.Stop})
 			if err != nil && errors.Is(err, placer.ErrNonConverged) {
 				res.event(6, iter, NonConverged, "keeping best-effort placement from stagnated solve", err)
 				err = nil

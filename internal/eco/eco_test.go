@@ -364,6 +364,100 @@ func TestApplyInvalidDeltaErrors(t *testing.T) {
 	}
 }
 
+// TestApplyDeltaValidationMatrix walks the validation branches of every op
+// that TestApplyInvalidDeltaErrors leaves untouched, and checks each rejected
+// delta renders a readable String (the text lands in error messages and the
+// serve layer's responses).
+func TestApplyDeltaValidationMatrix(t *testing.T) {
+	c, ids := chainCircuit(t)
+	st, _ := baseState(t, c)
+	prevPos := c.Positions()
+
+	// A second fanin makes ids[0].tp ineligible for add_ff (a flip-flop has
+	// exactly one); applied as the batch's first delta so the add_ff failure
+	// also proves mid-batch rollback of the committed net edit.
+	twoFanin := []eco.Delta{
+		{Op: eco.OpEditNet, Net: 3, Cell: ids[0].tp, Add: true}, // n-f1 gains tp
+		{Op: eco.OpAddFF, Cell: ids[0].tp},
+	}
+	if _, err := eco.Apply(st, twoFanin, eco.Options{}); err == nil {
+		t.Error("add_ff on a two-fanin gate accepted")
+	} else if !strings.Contains(err.Error(), "fanin") {
+		t.Errorf("add_ff error does not name the fanin count: %v", err)
+	}
+
+	bad := []struct {
+		label string
+		d     eco.Delta
+		want  string // substring of the error
+	}{
+		{"remove_ff on gate", eco.Delta{Op: eco.OpRemoveFF, Cell: ids[0].g1}, "not a flip-flop"},
+		{"retarget_ring on gate", eco.Delta{Op: eco.OpRetargetRing, Cell: ids[0].g1, Ring: 0}, "not a flip-flop"},
+		{"edit_net add to FF", eco.Delta{Op: eco.OpEditNet, Net: 0, Cell: ids[0].f1, Add: true}, "only gates"},
+		{"edit_net add duplicate", eco.Delta{Op: eco.OpEditNet, Net: 1, Cell: ids[0].tp, Add: true}, "already on net"},
+		{"edit_net remove FF fanin", eco.Delta{Op: eco.OpEditNet, Net: 1, Cell: ids[0].f1}, "flip-flop"},
+		{"edit_net remove to 1 pin", eco.Delta{Op: eco.OpEditNet, Net: 0, Cell: ids[0].g1}, "below 2 pins"},
+		{"edit_net remove non-sink", eco.Delta{Op: eco.OpEditNet, Net: 1, Cell: ids[1].g2}, "not a sink"},
+	}
+	for _, tc := range bad {
+		_, err := eco.Apply(st, []eco.Delta{tc.d}, eco.Options{})
+		if err == nil {
+			t.Errorf("%s: accepted", tc.label)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not contain %q", tc.label, err, tc.want)
+		}
+		if s := tc.d.String(); !strings.Contains(err.Error(), s) {
+			t.Errorf("%s: error %q does not embed the delta's String %q", tc.label, err, s)
+		}
+	}
+
+	// Retargeting to the already-pinned ring is a no-op, not an error.
+	first := eco.Delta{Op: eco.OpRetargetRing, Cell: ids[1].f2, Ring: 1}
+	if _, err := eco.Apply(st, []eco.Delta{first}, eco.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := eco.Apply(st, []eco.Delta{first}, eco.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NoOps != 1 {
+		t.Errorf("repeated retarget: NoOps = %d, want 1", out.NoOps)
+	}
+
+	for i, cell := range c.Cells {
+		if cell.Pos != prevPos[i] {
+			t.Fatalf("cell %d moved by a rejected or no-op delta", i)
+		}
+	}
+}
+
+// TestRemoveLastFF: demoting the only flip-flop is rejected — the state
+// would have nothing for the skew/assignment layers to own.
+func TestRemoveLastFF(t *testing.T) {
+	c := netlist.New("one-ff")
+	c.Die = geom.Rect{Lo: geom.Pt(0, 0), Hi: geom.Pt(500, 500)}
+	in := c.AddCell(&netlist.Cell{Name: "in", Kind: netlist.Input, Pos: geom.Pt(0, 250), Fixed: true})
+	g := c.AddCell(&netlist.Cell{Name: "g", Kind: netlist.Gate, Fn: netlist.FuncBuf, W: 1, H: 1, Pos: geom.Pt(100, 250)})
+	f := c.AddCell(&netlist.Cell{Name: "f", Kind: netlist.FF, Fn: netlist.FuncDFF, W: 1, H: 1, Pos: geom.Pt(200, 250)})
+	o := c.AddCell(&netlist.Cell{Name: "o", Kind: netlist.Output, Pos: geom.Pt(400, 250), Fixed: true})
+	c.AddNet("a", in.ID, g.ID)
+	c.AddNet("b", g.ID, f.ID)
+	c.AddNet("c", f.ID, o.ID)
+	st, _ := baseState(t, c)
+	_, err := eco.Apply(st, []eco.Delta{{Op: eco.OpRemoveFF, Cell: f.ID}}, eco.Options{})
+	if err == nil {
+		t.Fatal("removing the last flip-flop accepted")
+	}
+	if !strings.Contains(err.Error(), "last flip-flop") {
+		t.Errorf("error %q does not name the last-flip-flop rule", err)
+	}
+	if c.Cells[f.ID].Kind != netlist.FF {
+		t.Error("rejected removal still demoted the flip-flop")
+	}
+}
+
 // TestApplyPatchVsScratch is the in-package slice of the differential
 // oracle: the incremental arm and the from-scratch arm must land on
 // bit-identical positions and schedules and equal totals for a mixed batch,

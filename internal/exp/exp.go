@@ -61,6 +61,11 @@ type Options struct {
 	// inner iteration. Non-strict flows degrade to their best snapshot;
 	// Table I reports the incumbent the budget bought.
 	Stop *stop.Token
+	// TimingDriven turns on critical-path net reweighting
+	// (core.Config.TimingDriven) in every suite flow run, so Tables II-VII
+	// report the timing-driven placements. Table VIII ignores it: that
+	// table always runs both arms to measure the mode itself.
+	TimingDriven bool
 }
 
 func (o *Options) normalize() {
@@ -124,6 +129,7 @@ func runCircuit(b bench.Circuit, opt Options) (*CircuitRun, error) {
 	cfg.Parallelism = parallelism
 	cfg.Strict = opt.Strict
 	cfg.Stop = opt.Stop
+	cfg.TimingDriven = opt.TimingDriven
 	cfgILP := cfg
 	cfgILP.Assigner = core.ILP
 	if opt.Metrics {
@@ -159,13 +165,7 @@ func runCircuit(b bench.Circuit, opt Options) (*CircuitRun, error) {
 			// style of the paper's [5]/[7]); in a zero-skew tree every
 			// source-sink path has the same length.
 			cr.TreePL = clocktree.ZSAvgSourceSinkPath(clocktree.BuildDME(cr.FFPos))
-			if sta, err := timing.Analyze(c1, timing.DefaultModel()); err == nil {
-				for _, p := range sta.Pairs {
-					if p.From != p.To {
-						cr.VarPairs = append(cr.VarPairs, variation.Pair{A: ffIdx[p.From], B: ffIdx[p.To]})
-					}
-				}
-			}
+			cr.VarPairs = varPairs(c1, ffIdx, cr.Flow)
 		},
 		func() {
 			c2, err := b.Generate()
@@ -185,6 +185,32 @@ func runCircuit(b bench.Circuit, opt Options) (*CircuitRun, error) {
 		return nil, ilpErr
 	}
 	return cr, nil
+}
+
+// varPairs extracts the sequentially adjacent pairs the variability study
+// monitors from the converged placement. An analysis failure — e.g. a
+// combinational cycle in a zero-flip-flop circuit that the non-strict
+// signal-only flow accepted — is surfaced as a flow event (the same
+// discipline as the in-loop slack-refresh warning) instead of being
+// silently swallowed into an empty pair list that quietly studies nothing.
+func varPairs(c *netlist.Circuit, ffIdx map[int]int, flow *core.Result) []variation.Pair {
+	sta, err := timing.Analyze(c, timing.DefaultModel())
+	if err != nil {
+		flow.Events = append(flow.Events, core.StageEvent{
+			Stage:  2,
+			Kind:   core.Classify(err),
+			Action: "variability timing analysis failed; variation study has no pairs",
+			Err:    err,
+		})
+		return nil
+	}
+	var out []variation.Pair
+	for _, p := range sta.Pairs {
+		if p.From != p.To {
+			out = append(out, variation.Pair{A: ffIdx[p.From], B: ffIdx[p.To]})
+		}
+	}
+	return out
 }
 
 // RunAll executes both flows on the whole (scaled) suite, circuits in
@@ -490,6 +516,82 @@ func TableVII(runs []*CircuitRun) []RowVII {
 		})
 	}
 	return rows
+}
+
+// RowVIII is one row of Table VIII: the default flow versus the
+// timing-driven mode (Config.TimingDriven) on worst slack, WCP, and total
+// wirelength, both under the network-flow assignment.
+type RowVIII struct {
+	Name    string
+	BaseWS  float64 // ps, worst slack of the default flow's final schedule
+	TDWS    float64 // ps, worst slack timing-driven
+	WSGain  float64 // ps, TDWS - BaseWS (positive = timing-driven better)
+	BaseWCP float64 // um*pF
+	TDWCP   float64
+	WCPImp  float64 // fraction, positive = timing-driven lower WCP
+	BaseWL  float64 // um, total wirelength
+	TDWL    float64
+	WLCost  float64 // fraction, negative = timing-driven spent wirelength
+}
+
+// TableVIII runs each circuit twice — the default flow and the timing-driven
+// mode — and reports the worst-slack gain bought and the wirelength paid.
+// The two arms run on independently generated copies of the netlist, so with
+// more than one worker they run concurrently; every column is deterministic.
+func TableVIII(opt Options) ([]RowVIII, error) {
+	opt.normalize()
+	suite := opt.suite()
+	rows := make([]RowVIII, len(suite))
+	errs := make([]error, len(suite))
+	par.For(opt.Parallelism, len(suite), func(i int) {
+		b := suite[i]
+		arm := func(timingDriven bool) (float64, core.Metrics, error) {
+			c, err := b.Generate()
+			if err != nil {
+				return 0, core.Metrics{}, err
+			}
+			cfg := b.Config()
+			cfg.Parallelism = opt.Parallelism
+			cfg.Strict = opt.Strict
+			cfg.Stop = opt.Stop
+			cfg.TimingDriven = timingDriven
+			res, err := core.Run(c, cfg)
+			if err != nil {
+				return 0, core.Metrics{}, err
+			}
+			ws, err := core.WorstSlack(c, cfg, res)
+			if err != nil {
+				return 0, core.Metrics{}, err
+			}
+			return ws, res.Final, nil
+		}
+		var baseWS, tdWS float64
+		var baseM, tdM core.Metrics
+		var baseErr, tdErr error
+		par.Do(par.Workers(opt.Parallelism),
+			func() { baseWS, baseM, baseErr = arm(false) },
+			func() { tdWS, tdM, tdErr = arm(true) })
+		if baseErr != nil {
+			errs[i] = fmt.Errorf("exp: %s baseline run: %w", b.Name, baseErr)
+			return
+		}
+		if tdErr != nil {
+			errs[i] = fmt.Errorf("exp: %s timing-driven run: %w", b.Name, tdErr)
+			return
+		}
+		rows[i] = RowVIII{
+			Name:   b.Name,
+			BaseWS: baseWS, TDWS: tdWS, WSGain: tdWS - baseWS,
+			BaseWCP: baseM.WCP, TDWCP: tdM.WCP, WCPImp: imp(baseM.WCP, tdM.WCP),
+			BaseWL: baseM.TotalWL, TDWL: tdM.TotalWL, WLCost: imp(baseM.TotalWL, tdM.TotalWL),
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
 }
 
 // Fig2 reproduces the tapping-delay curve of the paper's Fig. 2: the

@@ -9,7 +9,7 @@ import (
 	"testing"
 )
 
-// The golden-table regression harness locks the rendered text of Tables I-VII
+// The golden-table regression harness locks the rendered text of Tables I-VIII
 // (the same bytes cmd/rotarytables prints) against checked-in goldens. The
 // runs are fully deterministic: wall-clock columns are zeroed and the Table I
 // ILP baseline uses a node budget instead of a time budget. Regenerate with
@@ -107,18 +107,23 @@ func goldenTables(t *testing.T) map[string]string {
 	for i := range rowsIV {
 		rowsIV[i].OptCPU, rowsIV[i].PlaceCPU = 0, 0
 	}
+	rowsVIII, err := TableVIII(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
 	return map[string]string{
-		"I":   RenderTableI(rowsI),
-		"II":  RenderTableII(TableII(runs)),
-		"III": RenderTableIII(rowsIII),
-		"IV":  RenderTableIV(rowsIV),
-		"V":   RenderTableV(TableV(runs)),
-		"VI":  RenderTableVI(TableVI(runs)),
-		"VII": RenderTableVII(TableVII(runs)),
+		"I":    RenderTableI(rowsI),
+		"II":   RenderTableII(TableII(runs)),
+		"III":  RenderTableIII(rowsIII),
+		"IV":   RenderTableIV(rowsIV),
+		"V":    RenderTableV(TableV(runs)),
+		"VI":   RenderTableVI(TableVI(runs)),
+		"VII":  RenderTableVII(TableVII(runs)),
+		"VIII": RenderTableVIII(rowsVIII),
 	}
 }
 
-// TestGoldenTables is the regression gate: the rendered Tables I-VII of the
+// TestGoldenTables is the regression gate: the rendered Tables I-VIII of the
 // pinned deterministic configuration must match the checked-in goldens
 // byte for byte.
 func TestGoldenTables(t *testing.T) {
@@ -126,7 +131,7 @@ func TestGoldenTables(t *testing.T) {
 		t.Skip("golden run is not short")
 	}
 	tables := goldenTables(t)
-	for _, name := range []string{"I", "II", "III", "IV", "V", "VI", "VII"} {
+	for _, name := range []string{"I", "II", "III", "IV", "V", "VI", "VII", "VIII"} {
 		t.Run("Table"+name, func(t *testing.T) {
 			checkGolden(t, name, tables[name])
 		})

@@ -98,6 +98,19 @@ func RenderTableVII(rows []RowVII) string {
 	return t.String()
 }
 
+// RenderTableVIII renders the timing-driven placement comparison.
+func RenderTableVIII(rows []RowVIII) string {
+	t := report.New("Table VIII: timing-driven placement (worst slack ps, WCP um*pF, total WL um)",
+		"circuit", "base WS", "TD WS", "WS gain", "base WCP", "TD WCP", "imp", "base WL", "TD WL", "WL cost")
+	for _, r := range rows {
+		t.Row(r.Name,
+			fmt.Sprintf("%.1f", r.BaseWS), fmt.Sprintf("%.1f", r.TDWS), fmt.Sprintf("%.1f", r.WSGain),
+			r.BaseWCP, r.TDWCP, report.Percent(r.WCPImp),
+			r.BaseWL, r.TDWL, report.Percent(r.WLCost))
+	}
+	return t.String()
+}
+
 // RenderVariation renders the variability study.
 func RenderVariation(rows []RowVar) string {
 	t := report.New("Variability study (Section I motivation): skew deviation sigma (ps)",

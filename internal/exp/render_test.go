@@ -1,0 +1,44 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"rotaryclk/internal/rotary"
+)
+
+// TestRenderExtensionTables smoke-renders the extension-study tables from
+// fabricated rows: every renderer must emit its title and one data row.
+// (Tables I-VIII are locked byte-for-byte by the golden harness; these
+// studies are too slow for the golden set, so the renderers are pinned here.)
+func TestRenderExtensionTables(t *testing.T) {
+	check := func(name, out string, wants ...string) {
+		t.Helper()
+		for _, w := range wants {
+			if !strings.Contains(out, w) {
+				t.Errorf("%s output missing %q:\n%s", name, w, out)
+			}
+		}
+	}
+
+	check("RenderVariation", RenderVariation([]RowVar{
+		{Name: "s27", RotSigma: 1.5, TreeSigma: 6.0, Ratio: 4.0, RotMax: 3.1, TreeMax: 12.4},
+	}), "Variability study", "s27", "tree/rotary")
+
+	check("RenderTrees", RenderTrees([]RowTree{
+		{Name: "s27", BaseWL: 100, TreeWL: 80, Saved: 20, SavedPct: 20, Clusters: 4},
+	}), "Local-tree study", "s27", "clusters")
+
+	check("RenderRings", RenderRings("s27", []RowRings{
+		{Rings: 4, TapWL: 900, SignalWL: 4000, MaxCap: 1.2, WCP: 300},
+		{Rings: 9, TapWL: 700, SignalWL: 3900, MaxCap: 0.9, WCP: 250, Best: true},
+	}), "Ring-count sweep on s27", "<== best")
+
+	f := &Fig2{Cases: []Fig2Case{
+		{Label: "case 1", Target: 25, Tap: rotary.Tap{WireLen: 40, Periods: 0}},
+	}}
+	for i := 0; i <= 200; i++ {
+		f.Curve = append(f.Curve, rotary.CurvePoint{X: float64(i), Delay: float64(i % 50), Stub: 10})
+	}
+	check("RenderFig2", RenderFig2(f), "tapping-delay curve", "the four target cases", "case 1")
+}

@@ -48,6 +48,11 @@ const (
 	// flip-flop's most expensive candidate instead of optimizing — the
 	// wrong-answer failure mode the ECO-vs-scratch oracle must catch.
 	SiteAssignPatch = "assign.patch"
+	// SitePlacerReweight corrupts (not errors) the net-weight overlay: with
+	// a rule armed, applyNetWeights perturbs every scale slightly, breaking
+	// the all-ones bit-identity contract of Options.NetWeights — the silent
+	// divergence the core/timing-identity oracle must catch.
+	SitePlacerReweight = "placer.reweight"
 
 	// Cancellation-path sites: one per long solver loop, checked every
 	// iteration via stop.Check. Arming one with stop.ErrDeadlineExceeded (or

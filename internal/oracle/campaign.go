@@ -369,6 +369,9 @@ func RunCampaign(o Options) (*Report, error) {
 			if vs := check(CheckTranslate(spec, flowConfig(), delta, seed)); len(vs) > 0 {
 				record(vs, &Repro{Flow: &FlowSpec{Spec: spec, Delta: delta}})
 			}
+			if vs := check(CheckTimingIdentity(spec, flowConfig(), seed)); len(vs) > 0 {
+				record(vs, &Repro{Flow: &FlowSpec{Spec: spec}})
+			}
 		}
 
 		if o.ECOEvery > 0 && i%o.ECOEvery == 0 {

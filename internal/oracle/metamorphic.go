@@ -3,6 +3,7 @@ package oracle
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"rotaryclk/internal/assign"
 	"rotaryclk/internal/core"
@@ -91,6 +92,64 @@ func CheckTranslate(spec netlist.GenSpec, cfg core.Config, delta geom.Point, see
 	} else {
 		out = append(out, Violation{Oracle: name, Seed: seed,
 			Detail: fmt.Sprintf("assignment sizes differ: %d vs %d", len(res1.Assign.Ring), len(res2.Assign.Ring))})
+	}
+	return out
+}
+
+// CheckTimingIdentity runs the full integrated flow twice on the same
+// generated circuit — the default flow, and the timing-driven mode in its
+// identity configuration (negative TimingBoost, so every net-weight scale
+// stays exactly 1.0) — and asserts the outputs are bit-identical: positions,
+// skew schedule, and final metrics. The timing-driven machinery (critical-path
+// extraction, the placer's net-weight overlay, the scale decay) all execute;
+// any numeric divergence means the overlay perturbs arithmetic it promises
+// not to touch (placer.Options.NetWeights contract).
+func CheckTimingIdentity(spec netlist.GenSpec, cfg core.Config, seed int64) []Violation {
+	const name = "core/timing-identity"
+	c1, err := netlist.Generate(spec)
+	if err != nil {
+		return violationf(name, seed, "generator failed: %v", err)
+	}
+	c2, err := netlist.Generate(spec)
+	if err != nil {
+		return violationf(name, seed, "generator failed: %v", err)
+	}
+	cfgTD := cfg
+	cfgTD.TimingDriven = true
+	cfgTD.TimingBoost = -1
+	res1, err1 := core.Run(c1, cfg)
+	res2, err2 := core.Run(c2, cfgTD)
+	if (err1 == nil) != (err2 == nil) {
+		return violationf(name, seed, "flow feasibility depends on identity-mode reweighting: default err=%v, timing err=%v", err1, err2)
+	}
+	if err1 != nil {
+		return nil // consistently failing instance
+	}
+	var out []Violation
+	for i := range c1.Cells {
+		p1, p2 := c1.Cells[i].Pos, c2.Cells[i].Pos
+		if math.Float64bits(p1.X) != math.Float64bits(p2.X) || math.Float64bits(p1.Y) != math.Float64bits(p2.Y) {
+			out = append(out, Violation{Oracle: name, Seed: seed,
+				Detail: fmt.Sprintf("cell %d position diverges under identity-mode reweighting: %v vs %v", i, p1, p2)})
+			break
+		}
+	}
+	if len(res1.Schedule) != len(res2.Schedule) {
+		return append(out, Violation{Oracle: name, Seed: seed,
+			Detail: fmt.Sprintf("schedule sizes differ: %d vs %d", len(res1.Schedule), len(res2.Schedule))})
+	}
+	for i := range res1.Schedule {
+		if math.Float64bits(res1.Schedule[i]) != math.Float64bits(res2.Schedule[i]) {
+			out = append(out, Violation{Oracle: name, Seed: seed,
+				Detail: fmt.Sprintf("schedule entry %d diverges under identity-mode reweighting: %v vs %v", i, res1.Schedule[i], res2.Schedule[i])})
+			break
+		}
+	}
+	if math.Float64bits(res1.Final.TapWL) != math.Float64bits(res2.Final.TapWL) ||
+		math.Float64bits(res1.Final.SignalWL) != math.Float64bits(res2.Final.SignalWL) ||
+		math.Float64bits(res1.Final.MaxCap) != math.Float64bits(res2.Final.MaxCap) {
+		out = append(out, Violation{Oracle: name, Seed: seed,
+			Detail: fmt.Sprintf("final metrics diverge under identity-mode reweighting: %+v vs %+v", res1.Final, res2.Final)})
 	}
 	return out
 }

@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"rotaryclk/internal/faultinject"
+	"rotaryclk/internal/netlist"
 )
 
 var errInjected = errors.New("injected solver fault")
@@ -121,6 +122,27 @@ func TestFaultECODetected(t *testing.T) {
 				t.Errorf("repro %s not shrunk: %d deltas", path, len(r.ECO.Deltas))
 			}
 		}
+	}
+}
+
+// TestFaultReweightDetected: silently perturbing the placer's net-weight
+// overlay (the Options.NetWeights bit-identity contract) must fire the
+// timing-identity oracle, and the same instance must pass clean code.
+func TestFaultReweightDetected(t *testing.T) {
+	spec := netlist.GenSpec{Cells: 40, FlipFlops: 6, Seed: 7}
+	cfg := flowConfig()
+	cfg.MaxIters = 2
+	restore := faultinject.Enable(faultinject.Rule{Site: faultinject.SitePlacerReweight, Err: errInjected})
+	vs := CheckTimingIdentity(spec, cfg, 7)
+	restore()
+	if len(vs) == 0 {
+		t.Fatal("perturbed net-weight overlay not detected by core/timing-identity")
+	}
+	if !strings.HasPrefix(vs[0].Oracle, "core/timing-identity") {
+		t.Fatalf("unexpected oracle: %v", vs[0])
+	}
+	if vs := CheckTimingIdentity(spec, cfg, 7); len(vs) > 0 {
+		t.Fatalf("timing-identity fails on clean code: %v", &vs[0])
 	}
 }
 

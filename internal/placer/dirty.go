@@ -114,6 +114,7 @@ func (s *System) PatchNet(netID int, oldPins []int) (*System, bool, error) {
 	total := int(ns.rowStart[n])
 	ns.cols = make([]int32, total)
 	ns.w = make([]float64, total)
+	ns.wcur = ns.w
 	copy(ns.baseDiag, s.baseDiag)
 	copy(ns.baseBx, s.baseBx)
 	copy(ns.baseBy, s.baseBy)

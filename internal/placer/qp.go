@@ -66,6 +66,13 @@ type Options struct {
 	Bins int
 	// PseudoNets are the flip-flop anchor nets.
 	PseudoNets []PseudoNet
+	// NetWeights, when non-empty, scales every term net i contributes to the
+	// quadratic system (edge weights, star weights, fixed-pin anchors) by
+	// NetWeights[i] — the timing-driven criticality overlay. Indices beyond
+	// the slice scale at 1. Empty/nil uses the immutable base weights
+	// untouched; a vector of all-1.0 is bit-identical to that path (the
+	// contract TestNetWeightIdentity locks).
+	NetWeights []float64
 	// AnchorWeight, when positive, adds a stability anchor from every
 	// movable cell to its current position (incremental placement).
 	AnchorWeight float64
@@ -150,6 +157,14 @@ type System struct {
 	by   []float64
 	posX []float64
 	posY []float64
+
+	// Net-weight overlay (Options.NetWeights). wcur is the weight array the
+	// CG kernels read: s.w on the untouched path, wScaled (a lazily
+	// allocated scratch refilled by applyNetWeights) when a scale vector is
+	// in effect. rowNext is the replay's per-row fill cursor scratch.
+	wcur    []float64
+	wScaled []float64
+	rowNext []int32
 
 	obs *obs.Registry // resolved per call; nil when disarmed
 }
@@ -243,6 +258,7 @@ func NewSystem(c *netlist.Circuit, reg *obs.Registry) (*System, error) {
 	total := int(s.rowStart[n])
 	s.cols = make([]int32, total)
 	s.w = make([]float64, total)
+	s.wcur = s.w
 
 	// Fill pass: identical net traversal, so per-row neighbor order and the
 	// diag/bx/by accumulation order match the historical slice-of-slices
@@ -353,6 +369,7 @@ func (s *System) Fork(c *netlist.Circuit, reg *obs.Registry) (*System, error) {
 		posY:     make([]float64, s.n),
 		obs:      s.obs,
 	}
+	ns.wcur = ns.w
 	if reg != nil {
 		ns.obs = reg
 	}
@@ -365,11 +382,20 @@ func (s *System) Fork(c *netlist.Circuit, reg *obs.Registry) (*System, error) {
 // per-solve build used: positions and star seeds from the circuit, then
 // opt.PseudoNets, then extra pseudo-nets at extraScale times their weight,
 // then stability anchors, then the disconnected-node regularization.
+//
+// With opt.NetWeights set, the reset step replays the build's fill pass with
+// each net's terms scaled instead of copying the base arrays; the immutable
+// CSR is never mutated either way.
 func (s *System) prepare(opt *Options, extra []PseudoNet, extraScale float64) {
 	s.obs.Add("placer.system.reuses", 1)
-	copy(s.diag, s.baseDiag)
-	copy(s.bx, s.baseBx)
-	copy(s.by, s.baseBy)
+	if len(opt.NetWeights) > 0 {
+		s.applyNetWeights(opt.NetWeights)
+	} else {
+		s.wcur = s.w
+		copy(s.diag, s.baseDiag)
+		copy(s.bx, s.baseBx)
+		copy(s.by, s.baseBy)
+	}
 	c := s.c
 	for i := 0; i < s.nMov; i++ {
 		pos := c.Cells[s.cells[i]].Pos
@@ -414,6 +440,85 @@ func (s *System) prepare(opt *Options, extra []PseudoNet, extraScale float64) {
 		if s.diag[i] == 0 {
 			s.anchor(i, center, 1e-3)
 		}
+	}
+}
+
+// applyNetWeights rebuilds the working diag/bx/by and the scaled weight
+// array by replaying NewSystem's fill pass with every term of net i
+// multiplied by scale[i] (out-of-range indices scale at 1). The traversal
+// and accumulation order are identical to the build's, so a scale vector of
+// all-1.0 reproduces the base arrays bit-for-bit (w * 1.0 == w in IEEE 754)
+// and therefore the untouched path's positions exactly.
+func (s *System) applyNetWeights(scale []float64) {
+	s.obs.Add("placer.system.reweights", 1)
+	if s.wScaled == nil {
+		s.wScaled = make([]float64, len(s.w))
+		s.rowNext = make([]int32, s.n)
+	}
+	s.wcur = s.wScaled
+	for i := 0; i < s.n; i++ {
+		s.diag[i], s.bx[i], s.by[i] = 0, 0, 0
+	}
+	c := s.c
+	next := s.rowNext
+	copy(next, s.rowStart[:s.n])
+	addEdge := func(i, j int, w float64) {
+		s.diag[i] += w
+		s.diag[j] += w
+		s.wScaled[next[i]] = w
+		next[i]++
+		s.wScaled[next[j]] = w
+		next[j]++
+	}
+	addAnchor := func(i int, p geom.Point, w float64) {
+		s.diag[i] += w
+		s.bx[i] += w * p.X
+		s.by[i] += w * p.Y
+	}
+	// Armed SitePlacerReweight silently perturbs every scale, breaking the
+	// all-ones bit-identity contract — the wrong-answer failure mode the
+	// core/timing-identity oracle must catch.
+	perturb := 0.0
+	if faultinject.Hook(faultinject.SitePlacerReweight) != nil {
+		perturb = 1e-3
+	}
+	sc := func(ni int) float64 {
+		f := perturb
+		if ni < len(scale) {
+			return scale[ni] + f
+		}
+		return 1 + f
+	}
+	star := s.nMov
+	for ni, net := range c.Nets {
+		k := len(net.Pins)
+		if k < 2 {
+			continue
+		}
+		f := sc(ni)
+		if k == 2 {
+			a, b := net.Pins[0], net.Pins[1]
+			ia, aOK := s.idx[a]
+			ib, bOK := s.idx[b]
+			switch {
+			case aOK && bOK:
+				addEdge(ia, ib, 1*f)
+			case aOK:
+				addAnchor(ia, c.Cells[b].Pos, 1*f)
+			case bOK:
+				addAnchor(ib, c.Cells[a].Pos, 1*f)
+			}
+			continue
+		}
+		w := float64(k) / float64(k-1) / 2 * f
+		for _, pid := range net.Pins {
+			if ip, ok := s.idx[pid]; ok {
+				addEdge(ip, star, w)
+			} else {
+				addAnchor(star, c.Cells[pid].Pos, w)
+			}
+		}
+		star++
 	}
 }
 
@@ -514,7 +619,7 @@ func (s *System) mulvec(v, out []float64, workers int) {
 		for i := lo; i < hi; i++ {
 			acc := s.diag[i] * v[i]
 			cols := s.cols[s.rowStart[i]:s.rowStart[i+1]]
-			wts := s.w[s.rowStart[i]:s.rowStart[i+1]]
+			wts := s.wcur[s.rowStart[i]:s.rowStart[i+1]]
 			for k, j := range cols {
 				acc -= wts[k] * v[j]
 			}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -115,12 +116,19 @@ func (s *stats) snapshot() *StatsSnapshot {
 	return snap
 }
 
-// quantile reads the q-th quantile from a sorted sample (nearest-rank).
+// quantile reads the q-th quantile from a sorted sample (nearest-rank:
+// the smallest value with at least ceil(q*n) observations at or below it).
+// int(q*n) would be the (one-too-high) rank above it for most q — at n=100
+// it reads p99 from the largest sample instead of the 99th — and collapses
+// to the maximum for every q at n=1.
 func quantile(sorted []float64, q float64) float64 {
 	if len(sorted) == 0 {
 		return 0
 	}
-	i := int(q * float64(len(sorted)))
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
 	if i >= len(sorted) {
 		i = len(sorted) - 1
 	}

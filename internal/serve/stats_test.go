@@ -1,0 +1,42 @@
+package serve
+
+import "testing"
+
+// TestQuantileNearestRank locks the nearest-rank definition: the q-th
+// quantile of a sorted n-sample is element ceil(q*n)-1. The old int(q*n)
+// indexing read one rank too high everywhere q*n is not integral — p99 of
+// 100 samples came back as the maximum — and always returned the only
+// element's "max" interpretation at n=1 only by accident of clamping.
+func TestQuantileNearestRank(t *testing.T) {
+	seq := func(n int) []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = float64(i + 1) // sorted 1..n, so value == rank
+		}
+		return out
+	}
+	tests := []struct {
+		name   string
+		sorted []float64
+		q      float64
+		want   float64
+	}{
+		{"empty", nil, 0.5, 0},
+		{"n=1 p50", seq(1), 0.50, 1},
+		{"n=1 p99", seq(1), 0.99, 1},
+		{"n=4 p25 exact", seq(4), 0.25, 1},
+		{"n=4 p50 exact", seq(4), 0.50, 2},
+		{"n=4 p90", seq(4), 0.90, 4},
+		{"n=4 p99", seq(4), 0.99, 4},
+		{"n=100 p50", seq(100), 0.50, 50},
+		{"n=100 p90", seq(100), 0.90, 90},
+		{"n=100 p99", seq(100), 0.99, 99}, // the old indexing returned 100 (the max)
+		{"n=100 p100", seq(100), 1.00, 100},
+		{"n=100 q=0", seq(100), 0, 1},
+	}
+	for _, tc := range tests {
+		if got := quantile(tc.sorted, tc.q); got != tc.want {
+			t.Errorf("%s: quantile(n=%d, q=%v) = %v, want %v", tc.name, len(tc.sorted), tc.q, got, tc.want)
+		}
+	}
+}

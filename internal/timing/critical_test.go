@@ -1,0 +1,158 @@
+package timing
+
+import (
+	"math"
+	"testing"
+
+	"rotaryclk/internal/geom"
+	"rotaryclk/internal/netlist"
+)
+
+func TestSlackUnder(t *testing.T) {
+	m := DefaultModel()
+	p := Pair{DMax: 500, DMin: 100}
+	lo, hi := m.PermissibleRange(p, 1000, 0)
+	mid := (lo + hi) / 2
+	if s := m.SlackUnder(p, mid, 1000); math.Abs(s-(hi-lo)/2) > 1e-9 {
+		t.Errorf("centered slack = %v, want %v", s, (hi-lo)/2)
+	}
+	if s := m.SlackUnder(p, hi, 1000); s != 0 {
+		t.Errorf("slack at high edge = %v, want 0", s)
+	}
+	if s := m.SlackUnder(p, hi+10, 1000); math.Abs(s+10) > 1e-9 {
+		t.Errorf("slack outside window = %v, want -10", s)
+	}
+	if s := m.SlackUnder(p, lo-5, 1000); math.Abs(s+5) > 1e-9 {
+		t.Errorf("slack below window = %v, want -5", s)
+	}
+}
+
+// zeroSkew ranks pairs by setup slack at zero skew: lower slack = slower path.
+func zeroSkew(m Model, T float64) func(Pair) float64 {
+	return func(p Pair) float64 { return m.SlackUnder(p, 0, T) }
+}
+
+func TestExtractCriticalChain(t *testing.T) {
+	c := chain(t)
+	m := DefaultModel()
+	paths, err := ExtractCritical(c, m, zeroSkew(m, 1000), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sta, err := Analyze(c, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != len(sta.Pairs) {
+		t.Fatalf("got %d paths, Analyze found %d pairs", len(paths), len(sta.Pairs))
+	}
+	// Every extracted pair must match Analyze's delays exactly, and its net
+	// trail must reconstruct DMax when summed hop-by-hop is not checkable
+	// directly (delays live on arcs), but the trail must be non-empty and
+	// reference valid nets.
+	for _, cp := range paths {
+		ref := pairDelayPair(sta, cp.Pair.From, cp.Pair.To)
+		if ref == nil {
+			t.Fatalf("extracted pair %d->%d unknown to Analyze", cp.Pair.From, cp.Pair.To)
+		}
+		if cp.Pair.DMax != ref.DMax || cp.Pair.DMin != ref.DMin {
+			t.Errorf("pair %d->%d delays %v/%v, Analyze says %v/%v",
+				cp.Pair.From, cp.Pair.To, cp.Pair.DMax, cp.Pair.DMin, ref.DMax, ref.DMin)
+		}
+		if len(cp.Nets) == 0 {
+			t.Errorf("pair %d->%d has empty net trail", cp.Pair.From, cp.Pair.To)
+		}
+		for _, ni := range cp.Nets {
+			if ni < 0 || ni >= len(c.Nets) {
+				t.Fatalf("pair %d->%d references net %d out of range", cp.Pair.From, cp.Pair.To, ni)
+			}
+		}
+	}
+	// ff0 -> ff1 crosses n0, n1, n2 in order (cell IDs 0..3, nets 0..2).
+	for _, cp := range paths {
+		if cp.Pair.From == 0 && cp.Pair.To == 3 {
+			want := []int{0, 1, 2}
+			if len(cp.Nets) != len(want) {
+				t.Fatalf("ff0->ff1 nets = %v, want %v", cp.Nets, want)
+			}
+			for i := range want {
+				if cp.Nets[i] != want[i] {
+					t.Fatalf("ff0->ff1 nets = %v, want %v", cp.Nets, want)
+				}
+			}
+		}
+	}
+}
+
+func TestExtractCriticalOrderAndTruncation(t *testing.T) {
+	c, err := netlist.Generate(netlist.GenSpec{Name: "g", Cells: 800, FlipFlops: 100, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := DefaultModel()
+	all, err := ExtractCritical(c, m, zeroSkew(m, 1000), 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) == 0 {
+		t.Fatal("no critical paths found")
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].Slack < all[i-1].Slack {
+			t.Fatalf("paths not sorted by slack at %d: %v after %v", i, all[i].Slack, all[i-1].Slack)
+		}
+	}
+	topK, err := ExtractCritical(c, m, zeroSkew(m, 1000), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topK) != 8 {
+		t.Fatalf("k=8 returned %d paths", len(topK))
+	}
+	for i := range topK {
+		if topK[i].Pair != all[i].Pair || topK[i].Slack != all[i].Slack {
+			t.Fatalf("truncated selection diverges at %d: %+v vs %+v", i, topK[i], all[i])
+		}
+	}
+	if got, _ := ExtractCritical(c, m, zeroSkew(m, 1000), 0); got != nil {
+		t.Fatalf("k=0 should return nil, got %d paths", len(got))
+	}
+}
+
+func TestExtractCriticalSelfLoop(t *testing.T) {
+	c := netlist.New("self")
+	f0 := c.AddCell(&netlist.Cell{Name: "ff0", Kind: netlist.FF, Fn: netlist.FuncDFF})
+	g0 := c.AddCell(&netlist.Cell{Name: "g0", Kind: netlist.Gate, Fn: netlist.FuncNot})
+	c.AddNet("q", f0.ID, g0.ID)
+	c.AddNet("d", g0.ID, f0.ID)
+	for _, cell := range c.Cells {
+		cell.Pos = geom.Pt(0, 0)
+	}
+	m := DefaultModel()
+	paths, err := ExtractCritical(c, m, zeroSkew(m, 1000), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 {
+		t.Fatalf("paths = %+v", paths)
+	}
+	cp := paths[0]
+	if cp.Pair.From != f0.ID || cp.Pair.To != f0.ID {
+		t.Fatalf("self pair = %+v", cp.Pair)
+	}
+	// The loop crosses both nets: q (ff0 -> g0) then d (g0 -> ff0).
+	if len(cp.Nets) != 2 || cp.Nets[0] != 0 || cp.Nets[1] != 1 {
+		t.Fatalf("self-loop nets = %v, want [0 1]", cp.Nets)
+	}
+}
+
+func TestExtractCriticalCycleError(t *testing.T) {
+	c := netlist.New("cycle")
+	g0 := c.AddCell(&netlist.Cell{Name: "g0", Kind: netlist.Gate, Fn: netlist.FuncNot})
+	g1 := c.AddCell(&netlist.Cell{Name: "g1", Kind: netlist.Gate, Fn: netlist.FuncNot})
+	c.AddNet("a", g0.ID, g1.ID)
+	c.AddNet("b", g1.ID, g0.ID)
+	if _, err := ExtractCritical(c, DefaultModel(), zeroSkew(DefaultModel(), 1000), 4); err == nil {
+		t.Fatal("expected cycle error")
+	}
+}

@@ -9,12 +9,18 @@
 package timing
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
 
 	"rotaryclk/internal/netlist"
 )
+
+// ErrCycle reports a combinational cycle: the circuit has a gate loop not
+// broken by a flip-flop, so no topological propagation order exists. It is a
+// property of the input netlist, not of the analysis.
+var ErrCycle = errors.New("timing: combinational cycle detected")
 
 // Model holds the timing calibration: per-function intrinsic delays, the
 // driver output resistance, the interconnect RC, and the sequential
@@ -111,9 +117,12 @@ func (m Model) PermissibleRange(p Pair, T, M float64) (lo, hi float64) {
 	return M + m.THold - p.DMin, T - p.DMax - m.TSetup - M
 }
 
-// edge is one timing arc: driver cell -> sink cell with Elmore delay.
+// edge is one timing arc: driver cell -> sink cell with Elmore delay. net is
+// the index into Circuit.Nets of the connection the arc crosses, so path
+// extraction can map a critical path back to the nets it uses.
 type edge struct {
 	to    int
+	net   int32
 	delay float64
 }
 
@@ -125,7 +134,7 @@ type edge struct {
 // with C_net the total capacitance the driver sees (Elmore star model).
 func buildArcs(c *netlist.Circuit, m Model) [][]edge {
 	adj := make([][]edge, len(c.Cells))
-	for _, net := range c.Nets {
+	for ni, net := range c.Nets {
 		drv := net.Driver()
 		if drv < 0 || len(net.Pins) < 2 {
 			continue
@@ -147,7 +156,7 @@ func buildArcs(c *netlist.Circuit, m Model) [][]edge {
 		for _, sv := range net.Sinks() {
 			L := du.Pos.Manhattan(c.Cells[sv].Pos)
 			d := intr + m.DriveRes*load + m.wireDelay(L)
-			adj[drv] = append(adj[drv], edge{to: sv, delay: d})
+			adj[drv] = append(adj[drv], edge{to: sv, net: int32(ni), delay: d})
 		}
 	}
 	return adj
@@ -191,7 +200,7 @@ func topoOrder(c *netlist.Circuit, adj [][]edge) ([]int, error) {
 		}
 	}
 	if seen != n {
-		return nil, fmt.Errorf("timing: combinational cycle detected (%d of %d cells ordered)", seen, n)
+		return nil, fmt.Errorf("%w (%d of %d cells ordered)", ErrCycle, seen, n)
 	}
 	return idx, nil
 }

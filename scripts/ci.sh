@@ -37,6 +37,12 @@
 #                         edit latency at least 5x faster than a full
 #                         re-run (ECO_TIMEOUT, default 15m); the 50k
 #                         headline row is `make eco-bench`
+#   scripts/ci.sh timing  timing-driven placement smoke: the critical-path
+#                         reweighting identity tests (feature off or boost
+#                         disabled must be bit-identical to the base flow,
+#                         at 1 and 8 workers), the swallowed-STA-error
+#                         surface test, and the Table VIII worst-slack
+#                         acceptance run (improvement on >= 2 circuits)
 #   scripts/ci.sh golden  run only the golden-table regression harness
 #                         (UPDATE=1 re-records the goldens after a reviewed
 #                         table change)
@@ -209,6 +215,12 @@ eco)
     ROTARY_ECO_SMOKE=1 go test -timeout "$timeout" \
         -run '^TestECOSmoke20k$' -count=1 -v ./internal/bench/
     ;;
+timing)
+    go test ./internal/core/ -run '^(TestTiming|TestWorstSlack)' -count=1
+    go test ./internal/placer/ -run '^TestNetWeight' -count=1
+    go test ./internal/oracle/ -run '^TestFaultReweightDetected$' -count=1
+    go test -timeout 20m ./internal/exp/ -run '^(TestTimingSmoke|TestVarPairsSurfacesAnalysisError)$' -count=1 -v
+    ;;
 golden)
     if [ "${UPDATE:-0}" = "1" ]; then
         go test ./internal/exp -run '^TestGolden' -count=1 -update
@@ -240,7 +252,7 @@ cover)
     fi
     ;;
 *)
-    echo "usage: scripts/ci.sh {test|race|fuzz|serve|bench|benchcmp|scaling|eco|oracle|golden|cover}" >&2
+    echo "usage: scripts/ci.sh {test|race|fuzz|serve|bench|benchcmp|scaling|eco|oracle|timing|golden|cover}" >&2
     exit 2
     ;;
 esac
