@@ -4,7 +4,7 @@
 
 SEEDS ?= 25
 
-.PHONY: test race fuzz serve bench benchcmp scaling scaling-smoke eco eco-bench oracle timing golden cover ci
+.PHONY: test race fuzz serve bench benchcmp scaling scaling-smoke eco eco-bench oracle ml timing golden cover ci
 
 test:
 	sh scripts/ci.sh test
@@ -25,9 +25,14 @@ bench:
 benchcmp:
 	sh scripts/ci.sh benchcmp
 
-# Full geometric size sweep (1k..512k cells) -> BENCH_scaling.json.
+# Full geometric size sweep (1k..512k cells) -> BENCH_scaling.json, flat
+# points plus the multilevel V-cycle arm (the ml section). Both arms run the
+# production 24-round spreading schedule so the rows measure the placement
+# the flow actually ships (the abbreviated -spread 8 schedule understates
+# the V-cycle, whose cost is nearly schedule-independent).
 scaling:
-	go run ./cmd/rotaryscale -out BENCH_scaling.json
+	go run ./cmd/rotaryscale -spread 24 -out BENCH_scaling.json
+	go run ./cmd/rotaryscale -ml -spread 24 -out BENCH_scaling.json
 
 # Race-enabled 50k-cell smoke (the CI gate; minutes, not the full sweep).
 scaling-smoke:
@@ -47,6 +52,11 @@ eco-bench:
 oracle:
 	SEEDS=$(SEEDS) sh scripts/ci.sh oracle
 
+# Multilevel placement smoke: V-cycle identity/property tests, the
+# corrupt-site oracle negative, and the race-enabled 50k flat-vs-ml point.
+ml:
+	sh scripts/ci.sh ml
+
 timing:
 	sh scripts/ci.sh timing
 
@@ -56,4 +66,4 @@ golden:
 cover:
 	sh scripts/ci.sh cover
 
-ci: test race golden oracle serve eco timing cover
+ci: test race golden oracle serve eco ml timing cover

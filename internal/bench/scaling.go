@@ -36,6 +36,10 @@ type ScalingOptions struct {
 	// Parallelism bounds workers in the placer and candidate builder
 	// (0 = GOMAXPROCS).
 	Parallelism int
+	// Multilevel runs the placement stage through the V-cycle
+	// (placer.Options.Multilevel) instead of the flat schedule; points land
+	// in the report's ml section via cmd/rotaryscale -ml.
+	Multilevel bool
 	// Log, when non-nil, receives one progress line per completed point.
 	Log func(format string, args ...any)
 }
@@ -75,6 +79,16 @@ type ScalePoint struct {
 	LPZ      float64 `json:"lp_z"`       // assignment LP optimum (fF)
 	LPPivots int     `json:"lp_pivots"`  // GUB simplex pivot count
 	MaxCap   float64 `json:"max_cap_ff"` // rounded assignment max ring load
+
+	// Quality metrics, measured outside the timed stages: signal wirelength
+	// after legalization (um) and its wirelength-capacitance product
+	// SignalWL*MaxCap/1000 (um*pF, the sweep's Table VII analog). They make
+	// flat-vs-multilevel rows comparable on result quality, not just speed.
+	SignalWL float64 `json:"signal_wl"`
+	WCP      float64 `json:"wcp"`
+
+	// Multilevel records whether the placement stage ran the V-cycle.
+	Multilevel bool `json:"multilevel,omitempty"`
 }
 
 // ScalingReport is the JSON document written to BENCH_scaling.json.
@@ -89,6 +103,10 @@ type ScalingReport struct {
 	// recorded alongside the sweep: incremental re-optimization vs a full
 	// re-run at the same size.
 	ECO []ECOPoint `json:"eco,omitempty"`
+
+	// ML holds the multilevel arm (cmd/rotaryscale -ml): the same sweep
+	// points with the V-cycle placer, comparable row-for-row against Points.
+	ML []ScalePoint `json:"ml,omitempty"`
 }
 
 // SetECOPoint merges one edit-latency row into the report, replacing any
@@ -101,6 +119,18 @@ func (r *ScalingReport) SetECOPoint(pt ECOPoint) {
 		}
 	}
 	r.ECO = append(r.ECO, pt)
+}
+
+// SetMLPoint merges one multilevel-arm row into the report, replacing any
+// prior row at the same cell count so re-runs update in place.
+func (r *ScalingReport) SetMLPoint(pt ScalePoint) {
+	for i := range r.ML {
+		if r.ML[i].Cells == pt.Cells {
+			r.ML[i] = pt
+			return
+		}
+	}
+	r.ML = append(r.ML, pt)
 }
 
 // ringsFor picks the rotary array size for a sweep point: ring counts grow
@@ -173,6 +203,7 @@ func runScalePoint(cells int, opt *ScalingOptions) (ScalePoint, error) {
 	err = sys.Global(placer.Options{
 		SpreadIters: opt.SpreadIters,
 		Parallelism: opt.Parallelism,
+		Multilevel:  opt.Multilevel,
 	})
 	if err != nil {
 		return ScalePoint{}, err
@@ -199,6 +230,15 @@ func runScalePoint(cells int, opt *ScalingOptions) (ScalePoint, error) {
 	assignNS := time.Since(t0).Nanoseconds()
 
 	runtime.ReadMemStats(&ms)
+
+	// Quality measurement, outside the timed stages (the assignment above
+	// already consumed the un-legalized FF positions, matching the flow's
+	// stage order).
+	if err := placer.Legalize(c); err != nil {
+		return ScalePoint{}, err
+	}
+	signalWL := c.SignalWL()
+
 	stats := c.Stats()
 	total := genNS + sysNS + placeNS + assignNS
 	return ScalePoint{
@@ -212,6 +252,9 @@ func runScalePoint(cells int, opt *ScalingOptions) (ScalePoint, error) {
 		LPZ:           rel.LPOpt,
 		LPPivots:      rel.LPIters,
 		MaxCap:        a.MaxCap,
+		SignalWL:      signalWL,
+		WCP:           signalWL * a.MaxCap / 1000,
+		Multilevel:    opt.Multilevel,
 	}, nil
 }
 

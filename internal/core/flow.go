@@ -101,6 +101,17 @@ type Config struct {
 	// TimingMaxW caps any net's weight scale (default 4).
 	TimingMaxW float64
 
+	// Multilevel switches stage-1 global placement to the mPL-style
+	// V-cycle (placer.Options.Multilevel): coarsen the circuit into a
+	// cluster hierarchy, place the coarsest fully, interpolate back down
+	// with bounded refinement per level. Default off and bit-free — with
+	// it off the flow is bit-identical to earlier releases; with it on,
+	// only stage 1 changes (stage-6 incremental re-places and ECO dirty
+	// solves always stay flat, their warm starts make a V-cycle pure
+	// overhead). Circuits too small to coarsen silently fall back to the
+	// flat path.
+	Multilevel bool
+
 	// Strict disables every recovery policy and the degraded-result path:
 	// the first stage failure returns immediately as a *StageError. With
 	// Strict off (the default) Run relaxes infeasible subproblems along
@@ -373,10 +384,14 @@ func Run(c *netlist.Circuit, cfg Config) (*Result, error) {
 	tPlace := time.Now()
 	s1 := root.Child("stage1.place")
 	if !cfg.SkipInitialPlace {
-		err := psys.Global(placer.Options{Parallelism: cfg.Parallelism, Obs: reg, Stop: cfg.Stop})
+		if cfg.Multilevel {
+			reg.Add("core.ml.runs", 1)
+			s1.Set(obs.S("multilevel", "on"))
+		}
+		err := psys.Global(placer.Options{Parallelism: cfg.Parallelism, Obs: reg, Stop: cfg.Stop, Multilevel: cfg.Multilevel})
 		if err != nil && errors.Is(err, placer.ErrNonConverged) && !cfg.Strict {
 			res.event(1, 0, NonConverged, "retrying global placement at 100x looser CG tolerance", err)
-			err = psys.Global(placer.Options{Parallelism: cfg.Parallelism, CGTol: 1e-4, Obs: reg, Stop: cfg.Stop})
+			err = psys.Global(placer.Options{Parallelism: cfg.Parallelism, CGTol: 1e-4, Obs: reg, Stop: cfg.Stop, Multilevel: cfg.Multilevel})
 			if err != nil && errors.Is(err, placer.ErrNonConverged) {
 				// Both solves stagnated; the best-effort iterate is on the
 				// circuit and legalization makes it usable.
@@ -709,7 +724,11 @@ func runSignalOnly(c *netlist.Circuit, cfg Config, res *Result) (*Result, error)
 	tPlace := time.Now()
 	s1 := root.Child("stage1.place")
 	if !cfg.SkipInitialPlace {
-		err := psys.Global(placer.Options{Parallelism: cfg.Parallelism, Obs: reg, Stop: cfg.Stop})
+		if cfg.Multilevel {
+			reg.Add("core.ml.runs", 1)
+			s1.Set(obs.S("multilevel", "on"))
+		}
+		err := psys.Global(placer.Options{Parallelism: cfg.Parallelism, Obs: reg, Stop: cfg.Stop, Multilevel: cfg.Multilevel})
 		if err != nil && errors.Is(err, placer.ErrNonConverged) {
 			res.event(1, 0, NonConverged, "keeping best-effort placement from stagnated solve", err)
 			err = nil

@@ -53,6 +53,12 @@ const (
 	// the all-ones bit-identity contract of Options.NetWeights — the silent
 	// divergence the core/timing-identity oracle must catch.
 	SitePlacerReweight = "placer.reweight"
+	// SitePlacerMLCorrupt corrupts (not errors) the multilevel V-cycle: with
+	// a rule armed, every interpolation from a coarse level collapses the
+	// finer level's movable cells into the die's low corner instead of
+	// inheriting cluster positions — the silent quality-destroying failure
+	// mode the placer/multilevel oracle must catch.
+	SitePlacerMLCorrupt = "placer.ml.corrupt"
 
 	// Cancellation-path sites: one per long solver loop, checked every
 	// iteration via stop.Check. Arming one with stop.ErrDeadlineExceeded (or
@@ -67,6 +73,7 @@ const (
 	SiteSkewIterCancel    = "skew.iter.cancel"         // per Bellman-Ford / Karp DP round
 	SiteEcoApplyCancel    = "eco.apply.cancel"         // per ECO stage boundary
 	SitePlacerDirtyCancel = "placer.dirty.cancel"      // per dirty-region component solve
+	SitePlacerMLCancel    = "placer.ml.cancel"         // per V-cycle level boundary
 )
 
 // Rule injects Err at one site. Call selects which call (1-based, counted

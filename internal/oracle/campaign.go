@@ -29,6 +29,10 @@ type Options struct {
 	// plus a random delta sequence applied through both arms — on every
 	// k-th seed (default 5; negative disables).
 	ECOEvery int
+	// MLEvery runs the multilevel-vs-flat placement check — a circuit big
+	// enough to build a real V-cycle hierarchy, placed both ways and compared
+	// after legalization — on every k-th seed (default 5; negative disables).
+	MLEvery int
 	// Log, when non-nil, receives progress lines.
 	Log func(format string, args ...any)
 }
@@ -56,6 +60,9 @@ func (o *Options) normalize() {
 	}
 	if o.ECOEvery == 0 {
 		o.ECOEvery = 5
+	}
+	if o.MLEvery == 0 {
+		o.MLEvery = 5
 	}
 	if o.Log == nil {
 		o.Log = func(string, ...any) {}
@@ -386,6 +393,20 @@ func RunCampaign(o Options) (*Report, error) {
 			if vs := check(CheckECO(es, flowConfig(), seed)); len(vs) > 0 {
 				sh := shrinkECO(es, func(cand *ECOSpec) bool { return len(CheckECO(cand, flowConfig(), seed)) > 0 })
 				record(vs, &Repro{ECO: sh})
+			}
+		}
+
+		if o.MLEvery > 0 && i%o.MLEvery == 0 {
+			// Multilevel arm: large enough that the V-cycle actually coarsens
+			// (CheckMultilevel lowers the coarsening floor to match). The spec
+			// is the whole instance, so the repro reuses FlowSpec.
+			spec := netlist.GenSpec{
+				Cells:     600 + rng.Intn(400),
+				FlipFlops: 60 + rng.Intn(40),
+				Seed:      seed,
+			}
+			if vs := check(CheckMultilevel(spec, seed)); len(vs) > 0 {
+				record(vs, &Repro{Flow: &FlowSpec{Spec: spec}})
 			}
 		}
 

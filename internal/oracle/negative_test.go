@@ -31,6 +31,7 @@ func runFaultCampaign(t *testing.T, site string) (*Report, string) {
 		ReproDir:      dir,
 		FullFlowEvery: -1,
 		ECOEvery:      1,
+		MLEvery:       -1,
 	})
 	if err != nil {
 		t.Fatalf("campaign driver error: %v", err)
@@ -143,6 +144,30 @@ func TestFaultReweightDetected(t *testing.T) {
 	}
 	if vs := CheckTimingIdentity(spec, cfg, 7); len(vs) > 0 {
 		t.Fatalf("timing-identity fails on clean code: %v", &vs[0])
+	}
+}
+
+// TestFaultMLCorruptDetected: the placer.ml.corrupt site silently collapses
+// the interpolated positions at every V-cycle level boundary — the placement
+// still "succeeds" and its raw quadratic wirelength even improves, so only
+// the legalized flat-vs-multilevel comparison can see it. CheckMultilevel
+// must fire with the site armed and pass with it disarmed.
+func TestFaultMLCorruptDetected(t *testing.T) {
+	spec := netlist.GenSpec{Cells: 800, FlipFlops: 80, Seed: 11}
+	restore := faultinject.Enable(faultinject.Rule{Site: faultinject.SitePlacerMLCorrupt, Err: errInjected})
+	vs := CheckMultilevel(spec, 11)
+	restore()
+	if len(vs) == 0 {
+		t.Fatal("corrupted V-cycle interpolation not detected by placer/multilevel")
+	}
+	if !strings.HasPrefix(vs[0].Oracle, "placer/multilevel") {
+		t.Fatalf("unexpected oracle: %v", vs[0])
+	}
+	if !strings.Contains(vs[0].Detail, "wirelength") {
+		t.Fatalf("expected a legalized-wirelength violation, got: %v", vs[0])
+	}
+	if vs := CheckMultilevel(spec, 11); len(vs) > 0 {
+		t.Fatalf("placer/multilevel fails on clean code: %v", &vs[0])
 	}
 }
 

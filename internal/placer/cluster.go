@@ -1,0 +1,269 @@
+package placer
+
+import (
+	"rotaryclk/internal/geom"
+	"rotaryclk/internal/netlist"
+)
+
+// coarsening is one level of the multilevel hierarchy: the coarse circuit a
+// fine circuit's movable cells were clustered into, plus the maps the V-cycle
+// needs to move state between the two levels. Fixed cells are never clustered
+// — each projects to its own fixed coarse cell with identical position and
+// footprint — so boundary anchors survive coarsening exactly. Every coarse
+// net descends from exactly one fine net (netMap), which is what lets the
+// timing-driven net-weight overlay compose through the hierarchy: a fine
+// scale vector projects to the coarse level by plain index translation.
+type coarsening struct {
+	fine   *netlist.Circuit
+	coarse *netlist.Circuit
+	// cellMap maps fine cell ID -> coarse cell ID (every fine cell, fixed
+	// included).
+	cellMap []int
+	// netMap maps coarse net index -> the fine net it projects. Fine nets
+	// whose pins all land in one cluster are absorbed (their wirelength is
+	// now internal to a cluster) and have no coarse image.
+	netMap []int
+}
+
+// movable reports the movable cell count of the coarse circuit.
+func (co *coarsening) movable() int { return co.coarse.NumMovable() }
+
+// coarsen clusters the circuit's movable cells by deterministic first-choice
+// matching on net affinity and builds the coarse circuit. Visit order is cell
+// ID order and ties break toward the lowest neighbor ID, so the clustering —
+// and therefore the whole V-cycle — is identical for every worker count.
+// Returns nil when the circuit has no movable cells to cluster.
+func coarsen(c *netlist.Circuit) *coarsening {
+	n := len(c.Cells)
+	if c.NumMovable() == 0 {
+		return nil
+	}
+
+	// Affinity edges between movable cells: each movable pin of a net
+	// connects to the previous movable pin in pin order (a chain), with
+	// weight 1/(k-1), the star-model affinity a k-pin net spreads over its
+	// pins. A chain — rather than a star around the first movable pin —
+	// gives every pin up to two distinct partners, which keeps first-choice
+	// matching from stalling at coarse levels: with a star, once the anchor
+	// is matched the net's remaining pins have no partner left and survive
+	// as singletons, decaying the shrink ratio level over level. O(total
+	// pins), so million-cell circuits coarsen in linear time.
+	type edge struct {
+		to int
+		w  float64
+	}
+	deg := make([]int32, n+1)
+	for _, net := range c.Nets {
+		k := len(net.Pins)
+		if k < 2 {
+			continue
+		}
+		prev := -1
+		for _, pid := range net.Pins {
+			if c.Cells[pid].Fixed {
+				continue
+			}
+			if prev >= 0 && pid != prev {
+				deg[prev]++
+				deg[pid]++
+			}
+			prev = pid
+		}
+	}
+	rowStart := make([]int32, n+1)
+	for i := 0; i < n; i++ {
+		rowStart[i+1] = rowStart[i] + deg[i]
+	}
+	edges := make([]edge, rowStart[n])
+	next := make([]int32, n)
+	copy(next, rowStart[:n])
+	for _, net := range c.Nets {
+		k := len(net.Pins)
+		if k < 2 {
+			continue
+		}
+		w := 1 / float64(k-1)
+		prev := -1
+		for _, pid := range net.Pins {
+			if c.Cells[pid].Fixed {
+				continue
+			}
+			if prev >= 0 && pid != prev {
+				edges[next[prev]] = edge{to: pid, w: w}
+				next[prev]++
+				edges[next[pid]] = edge{to: prev, w: w}
+				next[pid]++
+			}
+			prev = pid
+		}
+	}
+
+	// First-choice matching: each unmatched movable cell, in ID order, pairs
+	// with its heaviest unmatched movable neighbor (parallel edges summed;
+	// ties to the lowest ID). acc/touched give per-neighbor accumulation
+	// without ranging a map, keeping the scan deterministic.
+	match := make([]int, n)
+	for i := range match {
+		match[i] = -1
+	}
+	acc := make([]float64, n)
+	var touched []int
+	for u := 0; u < n; u++ {
+		if c.Cells[u].Fixed || match[u] >= 0 {
+			continue
+		}
+		touched = touched[:0]
+		for _, e := range edges[rowStart[u]:rowStart[u+1]] {
+			if match[e.to] >= 0 {
+				continue
+			}
+			if acc[e.to] == 0 {
+				touched = append(touched, e.to)
+			}
+			acc[e.to] += e.w
+		}
+		best, bestW := -1, 0.0
+		for _, v := range touched {
+			if acc[v] > bestW || (acc[v] == bestW && best >= 0 && v < best) {
+				best, bestW = v, acc[v]
+			}
+			acc[v] = 0
+		}
+		if best >= 0 {
+			match[u] = best
+			match[best] = u
+		}
+	}
+
+	// Build the coarse circuit: fixed cells project one-to-one; each cluster
+	// (a matched pair or a leftover singleton) becomes one movable coarse
+	// cell at its members' area-weighted centroid, with the members' total
+	// area. Coarse footprints are area-only (W = area, H = 1): coarse
+	// circuits are solved and spread but never legalized, so only the area
+	// product matters to the density equalizer.
+	co := &coarsening{
+		fine:    c,
+		coarse:  netlist.New(c.Name),
+		cellMap: make([]int, n),
+	}
+	co.coarse.Die = c.Die
+	for u := 0; u < n; u++ {
+		cell := c.Cells[u]
+		if cell.Fixed {
+			cc := *cell
+			cc.Fanin = nil
+			cc.Fanout = -1
+			co.cellMap[u] = co.coarse.AddCell(&cc).ID
+			continue
+		}
+		v := match[u]
+		if v >= 0 && v < u {
+			co.cellMap[u] = co.cellMap[v] // second member of an earlier pair
+			continue
+		}
+		aU := cell.W * cell.H
+		area, cx, cy := aU, cell.Pos.X*aU, cell.Pos.Y*aU
+		members := 1.0
+		px, py := cell.Pos.X, cell.Pos.Y
+		if v >= 0 {
+			other := c.Cells[v]
+			aV := other.W * other.H
+			area += aV
+			cx += other.Pos.X * aV
+			cy += other.Pos.Y * aV
+			members = 2
+			px += other.Pos.X
+			py += other.Pos.Y
+		}
+		pos := geom.Pt(px/members, py/members)
+		if area > 0 {
+			pos = geom.Pt(cx/area, cy/area)
+		}
+		co.cellMap[u] = co.coarse.AddCell(&netlist.Cell{
+			Kind: netlist.Gate,
+			W:    area,
+			H:    1,
+			Pos:  pos,
+		}).ID
+	}
+
+	// Project nets: pins translate through cellMap and deduplicate in
+	// first-occurrence order; nets collapsing to fewer than two distinct
+	// clusters are absorbed. mark is an epoch array (net index), so the
+	// dedup is O(pins) with no per-net clearing.
+	mark := make([]int, len(co.coarse.Cells))
+	for i := range mark {
+		mark[i] = -1
+	}
+	var buf []int
+	for ni, net := range c.Nets {
+		if len(net.Pins) < 2 {
+			continue
+		}
+		buf = buf[:0]
+		for _, pid := range net.Pins {
+			cp := co.cellMap[pid]
+			if mark[cp] != ni {
+				mark[cp] = ni
+				buf = append(buf, cp)
+			}
+		}
+		if len(buf) >= 2 {
+			co.coarse.AddNet(net.Name, append([]int(nil), buf...)...)
+			co.netMap = append(co.netMap, ni)
+		}
+	}
+	return co
+}
+
+// projectPseudo translates a fine pseudo-net overlay onto the coarse level:
+// each anchor pulls its cell's cluster with unchanged weight (several fine
+// anchors landing in one cluster simply accumulate, matching prepare's
+// per-anchor accumulation).
+func (co *coarsening) projectPseudo(fine []PseudoNet) []PseudoNet {
+	if len(fine) == 0 {
+		return nil
+	}
+	out := make([]PseudoNet, 0, len(fine))
+	for _, pn := range fine {
+		if pn.Cell < 0 || pn.Cell >= len(co.cellMap) {
+			continue
+		}
+		cp := co.cellMap[pn.Cell]
+		if co.coarse.Cells[cp].Fixed {
+			continue
+		}
+		out = append(out, PseudoNet{Cell: cp, Target: pn.Target, Weight: pn.Weight})
+	}
+	return out
+}
+
+// projectWeights translates a fine net-weight scale vector onto the coarse
+// level: coarse net j inherits the scale of the one fine net it descends
+// from (out-of-range fine indices scale at 1, mirroring applyNetWeights).
+func (co *coarsening) projectWeights(fine []float64) []float64 {
+	if len(fine) == 0 {
+		return nil
+	}
+	out := make([]float64, len(co.netMap))
+	for j, ni := range co.netMap {
+		if ni < len(fine) {
+			out[j] = fine[ni]
+		} else {
+			out[j] = 1
+		}
+	}
+	return out
+}
+
+// interpolate writes the coarse circuit's solved positions back onto the fine
+// circuit: every movable fine cell inherits its cluster's position (die
+// geometry is shared, so no clamping is needed); fixed cells keep their own.
+func (co *coarsening) interpolate() {
+	for u, cell := range co.fine.Cells {
+		if cell.Fixed {
+			continue
+		}
+		cell.Pos = co.coarse.Cells[co.cellMap[u]].Pos
+	}
+}

@@ -1,0 +1,283 @@
+package placer
+
+import (
+	"testing"
+
+	"rotaryclk/internal/geom"
+	"rotaryclk/internal/netlist"
+)
+
+// TestCoarsenConservesClusterMass locks the coarsener's conservation
+// invariants: every fine cell lands in exactly one cluster, each cluster's
+// footprint area equals the sum of its members' areas (area is what the
+// density equalizer conserves; coarse W=area, H=1), and cluster positions
+// are the members' area-weighted centroids.
+func TestCoarsenConservesClusterMass(t *testing.T) {
+	c := genCircuit(t, 800, 100, 41)
+	co := coarsen(c)
+	if co == nil {
+		t.Fatal("coarsen returned nil on a circuit with movable cells")
+	}
+	if len(co.cellMap) != len(c.Cells) {
+		t.Fatalf("cellMap covers %d of %d fine cells", len(co.cellMap), len(c.Cells))
+	}
+	area := make([]float64, len(co.coarse.Cells))
+	members := make([]int, len(co.coarse.Cells))
+	for u, cell := range c.Cells {
+		cp := co.cellMap[u]
+		if cp < 0 || cp >= len(co.coarse.Cells) {
+			t.Fatalf("fine cell %d maps to out-of-range cluster %d", u, cp)
+		}
+		area[cp] += cell.W * cell.H
+		members[cp]++
+	}
+	for j, cc := range co.coarse.Cells {
+		if members[j] == 0 {
+			t.Fatalf("cluster %d has no members", j)
+		}
+		got := cc.W * cc.H
+		if diff := got - area[j]; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("cluster %d area %v, members sum to %v", j, got, area[j])
+		}
+	}
+}
+
+// TestCoarsenFixedSingletons: fixed cells are never clustered — each projects
+// to its own fixed coarse cell at an identical position with an identical
+// footprint, so boundary anchors survive coarsening exactly.
+func TestCoarsenFixedSingletons(t *testing.T) {
+	c := genCircuit(t, 600, 80, 43)
+	co := coarsen(c)
+	if co == nil {
+		t.Fatal("coarsen returned nil")
+	}
+	seen := make(map[int]int)
+	for u, cell := range c.Cells {
+		cp := co.cellMap[u]
+		cc := co.coarse.Cells[cp]
+		if cell.Fixed {
+			if !cc.Fixed {
+				t.Fatalf("fixed fine cell %d mapped to movable cluster %d", u, cp)
+			}
+			if cc.Pos != cell.Pos || cc.W != cell.W || cc.H != cell.H {
+				t.Fatalf("fixed cell %d not projected verbatim: %+v vs %+v", u, cc, cell)
+			}
+			if prev, dup := seen[cp]; dup {
+				t.Fatalf("fixed cells %d and %d share cluster %d", prev, u, cp)
+			}
+			seen[cp] = u
+		} else if cc.Fixed {
+			t.Fatalf("movable fine cell %d mapped to fixed cluster %d", u, cp)
+		}
+	}
+}
+
+// TestCoarsenNetProjection: every coarse net descends from exactly one fine
+// net, its pins are the first-occurrence dedup of the fine net's mapped pins,
+// and a fine net is absorbed only when all its pins share one cluster.
+func TestCoarsenNetProjection(t *testing.T) {
+	c := genCircuit(t, 700, 90, 47)
+	co := coarsen(c)
+	if co == nil {
+		t.Fatal("coarsen returned nil")
+	}
+	if len(co.netMap) != len(co.coarse.Nets) {
+		t.Fatalf("netMap has %d entries for %d coarse nets", len(co.netMap), len(co.coarse.Nets))
+	}
+	projected := make(map[int]bool)
+	for j, net := range co.coarse.Nets {
+		ni := co.netMap[j]
+		projected[ni] = true
+		fine := c.Nets[ni]
+		var want []int
+		seen := make(map[int]bool)
+		for _, pid := range fine.Pins {
+			cp := co.cellMap[pid]
+			if !seen[cp] {
+				seen[cp] = true
+				want = append(want, cp)
+			}
+		}
+		if len(want) != len(net.Pins) {
+			t.Fatalf("coarse net %d: %d pins, want %d", j, len(net.Pins), len(want))
+		}
+		for k, pid := range net.Pins {
+			if pid != want[k] {
+				t.Fatalf("coarse net %d pin %d: got cluster %d, want %d", j, k, pid, want[k])
+			}
+		}
+	}
+	// Absorption is exact: fine nets without a coarse image collapsed into
+	// one cluster.
+	for ni, net := range c.Nets {
+		if len(net.Pins) < 2 || projected[ni] {
+			continue
+		}
+		first := co.cellMap[net.Pins[0]]
+		for _, pid := range net.Pins {
+			if co.cellMap[pid] != first {
+				t.Fatalf("fine net %d spans clusters %d and %d but was absorbed", ni, first, co.cellMap[pid])
+			}
+		}
+	}
+}
+
+// TestCoarsenDeterministic: two coarsenings of identical circuits produce
+// identical clusterings — cellMap, netMap, and bitwise-identical cluster
+// positions. The matching is pure ID-order iteration, so this holds by
+// construction; the test locks it against future "optimizations".
+func TestCoarsenDeterministic(t *testing.T) {
+	a := coarsen(genCircuit(t, 900, 110, 53))
+	b := coarsen(genCircuit(t, 900, 110, 53))
+	if a == nil || b == nil {
+		t.Fatal("coarsen returned nil")
+	}
+	if len(a.cellMap) != len(b.cellMap) || len(a.netMap) != len(b.netMap) {
+		t.Fatalf("shape mismatch: %d/%d cells, %d/%d nets",
+			len(a.cellMap), len(b.cellMap), len(a.netMap), len(b.netMap))
+	}
+	for u := range a.cellMap {
+		if a.cellMap[u] != b.cellMap[u] {
+			t.Fatalf("cellMap[%d]: %d vs %d", u, a.cellMap[u], b.cellMap[u])
+		}
+	}
+	for j := range a.netMap {
+		if a.netMap[j] != b.netMap[j] {
+			t.Fatalf("netMap[%d]: %d vs %d", j, a.netMap[j], b.netMap[j])
+		}
+	}
+	for j := range a.coarse.Cells {
+		if a.coarse.Cells[j].Pos != b.coarse.Cells[j].Pos {
+			t.Fatalf("cluster %d position %v vs %v", j, a.coarse.Cells[j].Pos, b.coarse.Cells[j].Pos)
+		}
+	}
+}
+
+// TestCoarsenShrinks: on a connected circuit the chain-affinity matching must
+// pair the large majority of movable cells — a shrink ratio near 1 would
+// make the V-cycle pure overhead.
+func TestCoarsenShrinks(t *testing.T) {
+	c := genCircuit(t, 1000, 120, 59)
+	co := coarsen(c)
+	if co == nil {
+		t.Fatal("coarsen returned nil")
+	}
+	fine, coarse := c.NumMovable(), co.movable()
+	if coarse*4 > fine*3 {
+		t.Fatalf("weak shrink: %d -> %d movable cells", fine, coarse)
+	}
+}
+
+// TestCoarsenDegenerate: inputs with nothing to cluster are rejected (nil)
+// or degrade to singleton clusters without panicking.
+func TestCoarsenDegenerate(t *testing.T) {
+	// All cells fixed.
+	allFixed := netlist.New("fixed")
+	allFixed.Die = geom.Rect{Lo: geom.Pt(0, 0), Hi: geom.Pt(100, 100)}
+	for i := 0; i < 4; i++ {
+		allFixed.AddCell(&netlist.Cell{Kind: netlist.Input, Fixed: true, W: 1, H: 1, Pos: geom.Pt(float64(i), 0)})
+	}
+	if co := coarsen(allFixed); co != nil {
+		t.Fatalf("coarsen of an all-fixed circuit returned %d clusters, want nil", len(co.coarse.Cells))
+	}
+
+	// One movable cell, no nets: a single singleton cluster.
+	single := netlist.New("single")
+	single.Die = geom.Rect{Lo: geom.Pt(0, 0), Hi: geom.Pt(100, 100)}
+	single.AddCell(&netlist.Cell{Kind: netlist.Gate, W: 2, H: 3, Pos: geom.Pt(5, 5)})
+	co := coarsen(single)
+	if co == nil || co.movable() != 1 {
+		t.Fatalf("single-cell coarsening: %+v", co)
+	}
+
+	// Movable cells with no nets at all: no matching possible, every cell a
+	// singleton (the V-cycle's shrink-ratio guard rejects this hierarchy).
+	loose := netlist.New("loose")
+	loose.Die = geom.Rect{Lo: geom.Pt(0, 0), Hi: geom.Pt(100, 100)}
+	for i := 0; i < 6; i++ {
+		loose.AddCell(&netlist.Cell{Kind: netlist.Gate, W: 1, H: 1, Pos: geom.Pt(float64(i), float64(i))})
+	}
+	co = coarsen(loose)
+	if co == nil || co.movable() != 6 {
+		t.Fatalf("netless coarsening should keep 6 singletons: %+v", co)
+	}
+}
+
+// TestProjectOverlays covers the two overlay channels through one level:
+// pseudo-nets translate to the cell's cluster with unchanged weight, and the
+// net-weight vector follows netMap with out-of-range indices scaling at 1.
+func TestProjectOverlays(t *testing.T) {
+	c := genCircuit(t, 500, 60, 61)
+	co := coarsen(c)
+	if co == nil {
+		t.Fatal("coarsen returned nil")
+	}
+	ffs := c.FlipFlops()
+	pn := make([]PseudoNet, len(ffs))
+	for i, id := range ffs {
+		pn[i] = PseudoNet{Cell: id, Target: c.Die.Center(), Weight: 2.5}
+	}
+	cp := co.projectPseudo(pn)
+	if len(cp) != len(pn) {
+		t.Fatalf("projected %d of %d pseudo-nets", len(cp), len(pn))
+	}
+	for i, p := range cp {
+		if p.Cell != co.cellMap[pn[i].Cell] || p.Weight != pn[i].Weight || p.Target != pn[i].Target {
+			t.Fatalf("pseudo-net %d: %+v from %+v", i, p, pn[i])
+		}
+	}
+
+	// Net weights: scale fine net netMap[0] and check only coarse nets
+	// descending from it inherit the scale.
+	if len(co.netMap) == 0 {
+		t.Fatal("no projected nets")
+	}
+	short := make([]float64, co.netMap[0]+1)
+	for i := range short {
+		short[i] = 1
+	}
+	short[co.netMap[0]] = 3.5
+	w := co.projectWeights(short)
+	for j, ni := range co.netMap {
+		want := 1.0
+		if ni < len(short) {
+			want = short[ni]
+		}
+		if w[j] != want {
+			t.Fatalf("coarse net %d (fine %d): weight %v, want %v", j, ni, w[j], want)
+		}
+	}
+}
+
+// TestInterpolateInheritsClusterPositions: interpolation writes each movable
+// fine cell its cluster's position and leaves fixed cells untouched.
+func TestInterpolateInheritsClusterPositions(t *testing.T) {
+	c := genCircuit(t, 400, 50, 67)
+	co := coarsen(c)
+	if co == nil {
+		t.Fatal("coarsen returned nil")
+	}
+	for j, cc := range co.coarse.Cells {
+		if !cc.Fixed {
+			cc.Pos = geom.Pt(float64(j), float64(2*j))
+		}
+	}
+	fixedPos := make(map[int]geom.Point)
+	for u, cell := range c.Cells {
+		if cell.Fixed {
+			fixedPos[u] = cell.Pos
+		}
+	}
+	co.interpolate()
+	for u, cell := range c.Cells {
+		if cell.Fixed {
+			if cell.Pos != fixedPos[u] {
+				t.Fatalf("fixed cell %d moved by interpolation", u)
+			}
+			continue
+		}
+		if cell.Pos != co.coarse.Cells[co.cellMap[u]].Pos {
+			t.Fatalf("cell %d at %v, cluster at %v", u, cell.Pos, co.coarse.Cells[co.cellMap[u]].Pos)
+		}
+	}
+}

@@ -98,6 +98,22 @@ type Options struct {
 	// back to the circuit (same state contract as ErrNonConverged).
 	Stop *stop.Token
 
+	// Multilevel switches Global to the mPL-style V-cycle (see vcycle.go):
+	// the circuit is clustered into a hierarchy of coarser circuits, fully
+	// placed at the coarsest level, then interpolated down with MLRefine
+	// bounded refinement rounds per level. Default off; the off path is
+	// structurally unchanged (bit-identical, locked by TestMultilevelOff-
+	// Identity). Instances too small or too connected to coarsen fall back
+	// to the flat path (placer.ml.fallback counter). Incremental and ECO
+	// dirty-region solves never enter the V-cycle.
+	Multilevel bool
+	// MLCoarsest is the movable-cell count at which coarsening stops and
+	// the full spreading schedule runs (default 2500).
+	MLCoarsest int
+	// MLRefine is the number of equalize+re-solve rounds per level on the
+	// way back down (default 2).
+	MLRefine int
+
 	// rebuildEachSolve (test-only) assembles a fresh System before every
 	// re-solve, reproducing the pre-reuse rebuild-every-time path so tests
 	// can assert the two paths are bit-identical.
@@ -119,6 +135,12 @@ func (o *Options) normalize(movable int) {
 	}
 	if o.CGMaxIter <= 0 {
 		o.CGMaxIter = 600
+	}
+	if o.MLCoarsest <= 0 {
+		o.MLCoarsest = 2500
+	}
+	if o.MLRefine <= 0 {
+		o.MLRefine = 2
 	}
 }
 

@@ -42,6 +42,26 @@ func (s *System) Global(opt Options) error {
 	s.obs = obs.Resolve(opt.Obs)
 	s.obs.Add("placer.global.calls", 1)
 	workers := par.Workers(opt.Parallelism)
+	if opt.Multilevel {
+		handled, err := s.vcycle(opt, workers)
+		if handled || err != nil {
+			return err
+		}
+		// Degenerate for clustering (too small, all-fixed, or connectivity
+		// that refuses to shrink): fall back to the flat path below.
+		s.obs.Add("placer.ml.fallback", 1)
+	}
+	return s.globalLoop(opt, workers)
+}
+
+// globalLoop is the flat global-placement body shared by the direct path and
+// the per-level solves of the multilevel V-cycle: one initial quadratic solve
+// followed by opt.SpreadIters equalize+re-solve rounds. opt must already be
+// normalized; the caller owns validation, the ML dispatch, and the
+// placer.global.calls counter.
+func (s *System) globalLoop(opt Options, workers int) error {
+	c := s.c
+	s.obs = obs.Resolve(opt.Obs)
 	ws := wsPool.Get().(*solveWS)
 	defer wsPool.Put(ws)
 	converged, err := s.solveRound(&opt, nil, 0, workers, ws)

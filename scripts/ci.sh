@@ -37,6 +37,14 @@
 #                         edit latency at least 5x faster than a full
 #                         re-run (ECO_TIMEOUT, default 15m); the 50k
 #                         headline row is `make eco-bench`
+#   scripts/ci.sh ml      multilevel placement smoke: the V-cycle identity
+#                         and property tests (off path bit-identical at 1 and
+#                         8 workers, coarsening invariants, cancellation and
+#                         degenerate fallbacks), the corrupt-site oracle
+#                         negative test, and a race-enabled 50k-cell
+#                         flat-vs-V-cycle sweep point with a 5% wirelength
+#                         bound (ML_TIMEOUT, default 15m); the full sweep arm
+#                         is `make scaling` (cmd/rotaryscale -ml)
 #   scripts/ci.sh timing  timing-driven placement smoke: the critical-path
 #                         reweighting identity tests (feature off or boost
 #                         disabled must be bit-identical to the base flow,
@@ -215,6 +223,13 @@ eco)
     ROTARY_ECO_SMOKE=1 go test -timeout "$timeout" \
         -run '^TestECOSmoke20k$' -count=1 -v ./internal/bench/
     ;;
+ml)
+    timeout="${ML_TIMEOUT:-15m}"
+    go test ./internal/placer/ -run '^(TestMultilevel|TestVCycle|TestCoarsen|TestProjectOverlays|TestInterpolate)' -count=1
+    go test ./internal/oracle/ -run '^TestFaultMLCorruptDetected$' -count=1
+    ROTARY_ML_SMOKE=1 go test -race -timeout "$timeout" \
+        -run '^TestScalingML50k$' -count=1 -v ./internal/bench/
+    ;;
 timing)
     go test ./internal/core/ -run '^(TestTiming|TestWorstSlack)' -count=1
     go test ./internal/placer/ -run '^TestNetWeight' -count=1
@@ -252,7 +267,7 @@ cover)
     fi
     ;;
 *)
-    echo "usage: scripts/ci.sh {test|race|fuzz|serve|bench|benchcmp|scaling|eco|oracle|timing|golden|cover}" >&2
+    echo "usage: scripts/ci.sh {test|race|fuzz|serve|bench|benchcmp|scaling|eco|oracle|ml|timing|golden|cover}" >&2
     exit 2
     ;;
 esac
